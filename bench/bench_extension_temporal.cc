@@ -1,0 +1,199 @@
+// Extension bench (the paper's future-work directions, §8):
+//   A — "discounting with time": P1 vs P4 under exponential-discount
+//       utility w(t) = γ^t across γ, on the synthetic SBM;
+//   B — time-delayed diffusion (IC-M of Chen-Lu-Zhang 2012): disparity
+//       under meeting probabilities m ∈ {1.0, 0.5, 0.25, 0.1} at a fixed
+//       wall-clock horizon — slower meetings act like a tighter deadline,
+//       so the paper's "time-criticality exacerbates disparity" claim
+//       should re-appear as m decreases;
+//   C — weight-shape comparison: step vs discount vs linear decay at a
+//       common horizon.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "core/budget.h"
+#include "core/fairness.h"
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "sim/analytics.h"
+#include "sim/arrival_oracle.h"
+
+namespace tcim {
+namespace {
+
+struct Solved {
+  GroupUtilityReport p1;
+  GroupUtilityReport p4;
+};
+
+// Solves P1 and P4-log on an ArrivalOracle configured by (weight, delays);
+// reports are computed from the oracle's own estimates (the weighted
+// utility has no separate evaluation protocol in the paper).
+Solved SolveBoth(const GroupedGraph& gg, const TemporalWeight& weight,
+                 const DelaySampler& delays, int worlds, int budget) {
+  ArrivalOracleOptions options;
+  options.num_worlds = worlds;
+  BudgetOptions budget_options;
+  budget_options.budget = budget;
+
+  Solved solved;
+  {
+    ArrivalOracle oracle(&gg.graph, &gg.groups, weight, delays, options);
+    const GreedyResult result = SolveTcimBudget(oracle, budget_options);
+    solved.p1 = MakeGroupUtilityReport(result.coverage, gg.groups);
+  }
+  {
+    ArrivalOracle oracle(&gg.graph, &gg.groups, weight, delays, options);
+    const GreedyResult result =
+        SolveFairTcimBudget(oracle, ConcaveFunction::Log(), budget_options);
+    solved.p4 = MakeGroupUtilityReport(result.coverage, gg.groups);
+  }
+  return solved;
+}
+
+void Run(int argc, char** argv) {
+  bench::PrintBanner("Extensions",
+                     "discounted utility + IC-M delays (paper future work)");
+  const int worlds = bench::IntFlag(argc, argv, "worlds", 200);
+  const int budget = bench::IntFlag(argc, argv, "budget", 30);
+  const int horizon = 20;
+
+  Rng rng(4242);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  std::printf("graph: %s\n\n", gg.graph.DebugString().c_str());
+
+  // --- A: discount factor sweep. ------------------------------------------
+  {
+    TablePrinter table("Ext A: exponential discounting w(t)=gamma^t",
+                       {"gamma", "P1 total", "P1 disparity", "P4 total",
+                        "P4 disparity"});
+    CsvWriter csv({"gamma", "method", "total_weighted", "disparity"});
+    for (const double gamma : {1.0, 0.9, 0.7, 0.5, 0.3}) {
+      const Solved solved = SolveBoth(
+          gg, TemporalWeight::ExponentialDiscount(gamma, horizon),
+          DelaySampler::Unit(), worlds, budget);
+      table.AddRow({FormatDouble(gamma, 2),
+                    FormatDouble(solved.p1.total_fraction, 4),
+                    FormatDouble(solved.p1.disparity, 4),
+                    FormatDouble(solved.p4.total_fraction, 4),
+                    FormatDouble(solved.p4.disparity, 4)});
+      csv.AddRow({FormatDouble(gamma, 2), "P1",
+                  FormatDouble(solved.p1.total_fraction, 4),
+                  FormatDouble(solved.p1.disparity, 4)});
+      csv.AddRow({FormatDouble(gamma, 2), "P4-log",
+                  FormatDouble(solved.p4.total_fraction, 4),
+                  FormatDouble(solved.p4.disparity, 4)});
+    }
+    table.Print();
+    bench::WriteCsv(csv, "ext_discount_sweep.csv");
+  }
+
+  // --- B: IC-M meeting-probability sweep. ----------------------------------
+  {
+    TablePrinter table(
+        "Ext B: IC-M meeting probability m (step utility, horizon=20)",
+        {"m", "P1 total", "P1 disparity", "P4 total", "P4 disparity"});
+    CsvWriter csv({"m", "method", "total", "disparity"});
+    for (const double m : {1.0, 0.5, 0.25, 0.1}) {
+      const Solved solved =
+          SolveBoth(gg, TemporalWeight::Step(horizon),
+                    DelaySampler::Geometric(m, 909), worlds, budget);
+      table.AddRow({FormatDouble(m, 2),
+                    FormatDouble(solved.p1.total_fraction, 4),
+                    FormatDouble(solved.p1.disparity, 4),
+                    FormatDouble(solved.p4.total_fraction, 4),
+                    FormatDouble(solved.p4.disparity, 4)});
+      csv.AddRow({FormatDouble(m, 2), "P1",
+                  FormatDouble(solved.p1.total_fraction, 4),
+                  FormatDouble(solved.p1.disparity, 4)});
+      csv.AddRow({FormatDouble(m, 2), "P4-log",
+                  FormatDouble(solved.p4.total_fraction, 4),
+                  FormatDouble(solved.p4.disparity, 4)});
+    }
+    table.Print();
+    bench::WriteCsv(csv, "ext_icm_sweep.csv");
+  }
+
+  // --- C: weight shapes at a common horizon. -------------------------------
+  {
+    TablePrinter table("Ext C: temporal weight shape (horizon=20)",
+                       {"w(t)", "P1 total", "P1 disparity", "P4 total",
+                        "P4 disparity"});
+    CsvWriter csv({"weight", "method", "total_weighted", "disparity"});
+    std::vector<TemporalWeight> weights = {
+        TemporalWeight::Step(horizon),
+        TemporalWeight::ExponentialDiscount(0.7, horizon),
+        TemporalWeight::LinearDecay(horizon),
+    };
+    for (const TemporalWeight& weight : weights) {
+      const Solved solved =
+          SolveBoth(gg, weight, DelaySampler::Unit(), worlds, budget);
+      table.AddRow({weight.name(), FormatDouble(solved.p1.total_fraction, 4),
+                    FormatDouble(solved.p1.disparity, 4),
+                    FormatDouble(solved.p4.total_fraction, 4),
+                    FormatDouble(solved.p4.disparity, 4)});
+      csv.AddRow({weight.name(), "P1",
+                  FormatDouble(solved.p1.total_fraction, 4),
+                  FormatDouble(solved.p1.disparity, 4)});
+      csv.AddRow({weight.name(), "P4-log",
+                  FormatDouble(solved.p4.total_fraction, 4),
+                  FormatDouble(solved.p4.disparity, 4)});
+    }
+    table.Print();
+    bench::WriteCsv(csv, "ext_weight_shapes.csv");
+  }
+
+  // --- D: speed inequality via arrival curves. -----------------------------
+  {
+    // Quantifies §1's "one group gets influenced faster": per group, the
+    // time to reach 5% / 10% penetration under P1 vs P4 seeds.
+    OracleOptions oracle_options;
+    oracle_options.num_worlds = worlds;
+    oracle_options.deadline = horizon;
+    InfluenceOracle oracle(&gg.graph, &gg.groups, oracle_options);
+    BudgetOptions budget_options;
+    budget_options.budget = budget;
+    const GreedyResult p1 = SolveTcimBudget(oracle, budget_options);
+    const GreedyResult p4 =
+        SolveFairTcimBudget(oracle, ConcaveFunction::Log(), budget_options);
+
+    const ArrivalCurves p1_curves = ComputeArrivalCurves(
+        gg.graph, gg.groups, p1.seeds, /*horizon=*/40, oracle_options);
+    const ArrivalCurves p4_curves = ComputeArrivalCurves(
+        gg.graph, gg.groups, p4.seeds, 40, oracle_options);
+
+    TablePrinter table("Ext D: time to reach a penetration level (steps)",
+                       {"level", "P1 majority", "P1 minority", "P4 majority",
+                        "P4 minority"});
+    auto cell = [&](const ArrivalCurves& curves, GroupId g, double level) {
+      const int t = curves.TimeToReach(g, level, gg.groups);
+      return t < 0 ? std::string("never") : StrFormat("%d", t);
+    };
+    for (const double level : {0.02, 0.05, 0.10}) {
+      table.AddRow({FormatDouble(level, 2), cell(p1_curves, 0, level),
+                    cell(p1_curves, 1, level), cell(p4_curves, 0, level),
+                    cell(p4_curves, 1, level)});
+    }
+    table.Print();
+    const Status status = WriteStringToFile(p1_curves.ToCsv(gg.groups),
+                                            "ext_arrival_curves_p1.csv");
+    const Status status4 = WriteStringToFile(p4_curves.ToCsv(gg.groups),
+                                             "ext_arrival_curves_p4.csv");
+    if (status.ok() && status4.ok()) {
+      std::printf(
+          "[csv] wrote ext_arrival_curves_p1.csv / ext_arrival_curves_p4.csv\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcim
+
+int main(int argc, char** argv) {
+  tcim::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Figure 5 [Synthetic dataset, budget problem — graph-property sweeps]:
+//   5a — disparity vs activation probability pe ∈ {.01,.05,.1,.2,.3,.5,.7,1}
+//        for τ ∈ {2, ∞}, P1 vs P4-log;
+//   5b — disparity vs group-size split |V1|:|V2| ∈ {55:45, 60:40, 70:30,
+//        80:20};
+//   5c — disparity vs connectivity ratio p_het:p_hom ∈ {1:1, 3:5, 2:5,
+//        1:25} (p_hom fixed at 0.025).
+//
+// Expected shape: lower pe, more imbalance, and more cliquishness all raise
+// P1's disparity; P4 stays near parity throughout.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "core/experiment.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+struct MethodPair {
+  GroupUtilityReport p1;
+  GroupUtilityReport p4;
+};
+
+MethodPair SolveBoth(const GroupedGraph& gg, const ExperimentConfig& config,
+                     int budget) {
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  MethodPair pair;
+  pair.p1 = RunBudgetExperiment(gg.graph, gg.groups, config, budget).report;
+  pair.p4 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, budget, &log_h).report;
+  return pair;
+}
+
+void RunFig5a(int worlds, int budget) {
+  TablePrinter table(
+      "Fig 5a: disparity vs influence probability pe (P1/P4 at tau=2 and inf)",
+      {"pe", "P1 tau=2", "P4 tau=2", "P1 tau=inf", "P4 tau=inf"});
+  CsvWriter csv({"pe", "tau", "method", "disparity", "total"});
+
+  for (const double pe : {0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0}) {
+    Rng rng(5100);  // same structure across pe values, only weights change
+    SbmParams params;
+    params.activation_probability = pe;
+    const GroupedGraph gg = GenerateSbm(params, rng);
+
+    std::vector<std::string> cells = {FormatDouble(pe, 2)};
+    for (const int deadline : {2, kNoDeadline}) {
+      ExperimentConfig config;
+      config.deadline = deadline;
+      config.num_worlds = worlds;
+      const MethodPair pair = SolveBoth(gg, config, budget);
+      cells.push_back(FormatDouble(pair.p1.disparity, 4));
+      cells.push_back(FormatDouble(pair.p4.disparity, 4));
+      csv.AddRow({FormatDouble(pe, 2), bench::FormatTau(deadline), "P1",
+                  FormatDouble(pair.p1.disparity, 4),
+                  FormatDouble(pair.p1.total_fraction, 4)});
+      csv.AddRow({FormatDouble(pe, 2), bench::FormatTau(deadline), "P4-log",
+                  FormatDouble(pair.p4.disparity, 4),
+                  FormatDouble(pair.p4.total_fraction, 4)});
+    }
+    table.AddRow(cells);
+  }
+  table.Print();
+  bench::WriteCsv(csv, "fig05a_pe_sweep.csv");
+}
+
+void RunFig5b(int worlds, int budget) {
+  TablePrinter table("Fig 5b: disparity vs group size ratio |V1|:|V2|",
+                     {"ratio", "P1 disparity", "P4 disparity"});
+  CsvWriter csv({"majority_fraction", "method", "disparity", "total"});
+
+  for (const double g : {0.55, 0.6, 0.7, 0.8}) {
+    Rng rng(5200);
+    SbmParams params;
+    params.majority_fraction = g;
+    const GroupedGraph gg = GenerateSbm(params, rng);
+    ExperimentConfig config;
+    config.deadline = 20;
+    config.num_worlds = worlds;
+    const MethodPair pair = SolveBoth(gg, config, budget);
+    const std::string ratio =
+        StrFormat("%d:%d", static_cast<int>(g * 100),
+                  static_cast<int>((1 - g) * 100 + 0.5));
+    table.AddRow({ratio, FormatDouble(pair.p1.disparity, 4),
+                  FormatDouble(pair.p4.disparity, 4)});
+    csv.AddRow({FormatDouble(g, 2), "P1", FormatDouble(pair.p1.disparity, 4),
+                FormatDouble(pair.p1.total_fraction, 4)});
+    csv.AddRow({FormatDouble(g, 2), "P4-log",
+                FormatDouble(pair.p4.disparity, 4),
+                FormatDouble(pair.p4.total_fraction, 4)});
+  }
+  table.Print();
+  bench::WriteCsv(csv, "fig05b_group_sizes.csv");
+}
+
+void RunFig5c(int worlds, int budget) {
+  TablePrinter table(
+      "Fig 5c: disparity vs inter/intra connectivity (p_het : p_hom)",
+      {"p_het:p_hom", "P1 disparity", "P4 disparity"});
+  CsvWriter csv({"p_het", "p_hom", "method", "disparity", "total"});
+
+  const double p_hom = 0.025;
+  for (const double p_het : {0.025, 0.015, 0.01, 0.001}) {
+    Rng rng(5300);
+    SbmParams params;
+    params.p_hom = p_hom;
+    params.p_het = p_het;
+    const GroupedGraph gg = GenerateSbm(params, rng);
+    ExperimentConfig config;
+    config.deadline = 20;
+    config.num_worlds = worlds;
+    const MethodPair pair = SolveBoth(gg, config, budget);
+    table.AddRow({StrFormat("%s:%s", FormatDouble(p_het, 3).c_str(),
+                            FormatDouble(p_hom, 3).c_str()),
+                  FormatDouble(pair.p1.disparity, 4),
+                  FormatDouble(pair.p4.disparity, 4)});
+    csv.AddRow({FormatDouble(p_het, 3), FormatDouble(p_hom, 3), "P1",
+                FormatDouble(pair.p1.disparity, 4),
+                FormatDouble(pair.p1.total_fraction, 4)});
+    csv.AddRow({FormatDouble(p_het, 3), FormatDouble(p_hom, 3), "P4-log",
+                FormatDouble(pair.p4.disparity, 4),
+                FormatDouble(pair.p4.total_fraction, 4)});
+  }
+  table.Print();
+  bench::WriteCsv(csv, "fig05c_cliquishness.csv");
+}
+
+void Run(int argc, char** argv) {
+  bench::PrintBanner("Figure 5",
+                     "synthetic SBM: graph-property effects on disparity");
+  const int worlds = bench::IntFlag(argc, argv, "worlds", 200);
+  const int budget = bench::IntFlag(argc, argv, "budget", 30);
+
+  Stopwatch watch;
+  RunFig5a(worlds, budget);
+  RunFig5b(worlds, budget);
+  RunFig5c(worlds, budget);
+  std::printf("[time] figure 5 total: %.1fs\n", watch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace tcim
+
+int main(int argc, char** argv) {
+  tcim::Run(argc, argv);
+  return 0;
+}

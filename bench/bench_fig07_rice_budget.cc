@@ -1,0 +1,161 @@
+// Figure 7 [Rice-Facebook surrogate, budget problem]:
+//   7a — total + group influence for P1, P4-log, P4-sqrt (pe=0.01, τ=20,
+//        B=30, 4 age groups; the two most-disparate groups are reported);
+//   7b — influence vs budget B ∈ {5..30};
+//   7c — disparity vs deadline τ ∈ {1, 2, 5, 20, 50, ∞}.
+//
+// The paper reports the two groups with maximum disparity under P1 (its
+// groups 0 = ages 18-19 and 1 = age 20); we do the same.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "core/experiment.h"
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+// The pair of groups reported throughout the figure: most disparate under
+// the baseline P1 solution at the default configuration.
+std::pair<GroupId, GroupId> ReportPair(const GroupedGraph& gg,
+                                       const ExperimentConfig& config,
+                                       int budget) {
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, budget);
+  return MostDisparatePair(p1.report);
+}
+
+void RunFig7a(const GroupedGraph& gg, const ExperimentConfig& config,
+              int budget, GroupId ga, GroupId gb) {
+  TablePrinter table(
+      StrFormat("Fig 7a: total and group influence (groups %d vs %d)", ga, gb),
+      {"algorithm", "total", "groupA", "groupB", "pair disparity"});
+  CsvWriter csv({"algorithm", "total", "groupA", "groupB", "disparity"});
+
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  const ConcaveFunction sqrt_h = ConcaveFunction::Sqrt();
+  struct Row {
+    const char* name;
+    const ConcaveFunction* h;
+  };
+  for (const Row& row : {Row{"P1", nullptr}, Row{"P4-Log", &log_h},
+                         Row{"P4-Sqrt", &sqrt_h}}) {
+    const ExperimentOutcome outcome =
+        RunBudgetExperiment(gg.graph, gg.groups, config, budget, row.h);
+    const std::vector<std::string> cells = {
+        row.name, FormatDouble(outcome.report.total_fraction, 4),
+        FormatDouble(outcome.report.normalized[ga], 4),
+        FormatDouble(outcome.report.normalized[gb], 4),
+        FormatDouble(outcome.report.DisparityAmong({ga, gb}), 4)};
+    table.AddRow(cells);
+    csv.AddRow(cells);
+  }
+  table.Print();
+  bench::WriteCsv(csv, "fig07a_h_variants.csv");
+}
+
+void RunFig7b(const GroupedGraph& gg, const ExperimentConfig& config,
+              int max_budget, GroupId ga, GroupId gb) {
+  TablePrinter table("Fig 7b: influence vs seed budget B",
+                     {"B", "P1 total", "P1 gA", "P1 gB", "P4 total", "P4 gA",
+                      "P4 gB"});
+  CsvWriter csv({"B", "method", "total", "groupA", "groupB", "disparity"});
+
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, max_budget);
+  const ExperimentOutcome p4 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, max_budget, &log_h);
+
+  for (int budget = 5; budget <= max_budget; budget += 5) {
+    const std::vector<NodeId> p1_prefix(p1.selection.seeds.begin(),
+                                        p1.selection.seeds.begin() + budget);
+    const std::vector<NodeId> p4_prefix(p4.selection.seeds.begin(),
+                                        p4.selection.seeds.begin() + budget);
+    const GroupUtilityReport r1 =
+        EvaluateSeedSet(gg.graph, gg.groups, p1_prefix, config);
+    const GroupUtilityReport r4 =
+        EvaluateSeedSet(gg.graph, gg.groups, p4_prefix, config);
+    table.AddRow({StrFormat("%d", budget), FormatDouble(r1.total_fraction, 4),
+                  FormatDouble(r1.normalized[ga], 4),
+                  FormatDouble(r1.normalized[gb], 4),
+                  FormatDouble(r4.total_fraction, 4),
+                  FormatDouble(r4.normalized[ga], 4),
+                  FormatDouble(r4.normalized[gb], 4)});
+    csv.AddRow({StrFormat("%d", budget), "P1", FormatDouble(r1.total_fraction, 4),
+                FormatDouble(r1.normalized[ga], 4),
+                FormatDouble(r1.normalized[gb], 4),
+                FormatDouble(r1.DisparityAmong({ga, gb}), 4)});
+    csv.AddRow({StrFormat("%d", budget), "P4-log",
+                FormatDouble(r4.total_fraction, 4),
+                FormatDouble(r4.normalized[ga], 4),
+                FormatDouble(r4.normalized[gb], 4),
+                FormatDouble(r4.DisparityAmong({ga, gb}), 4)});
+  }
+  table.Print();
+  bench::WriteCsv(csv, "fig07b_budget_sweep.csv");
+}
+
+void RunFig7c(const GroupedGraph& gg, ExperimentConfig config, int budget,
+              GroupId ga, GroupId gb) {
+  TablePrinter table("Fig 7c: pair disparity vs time deadline tau",
+                     {"tau", "P1 disparity", "P4 disparity"});
+  CsvWriter csv({"tau", "method", "disparity", "total"});
+
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  for (const int deadline : {1, 2, 5, 20, 50, kNoDeadline}) {
+    config.deadline = deadline;
+    const ExperimentOutcome p1 =
+        RunBudgetExperiment(gg.graph, gg.groups, config, budget);
+    const ExperimentOutcome p4 =
+        RunBudgetExperiment(gg.graph, gg.groups, config, budget, &log_h);
+    table.AddRow({bench::FormatTau(deadline),
+                  FormatDouble(p1.report.DisparityAmong({ga, gb}), 4),
+                  FormatDouble(p4.report.DisparityAmong({ga, gb}), 4)});
+    csv.AddRow({bench::FormatTau(deadline), "P1",
+                FormatDouble(p1.report.DisparityAmong({ga, gb}), 4),
+                FormatDouble(p1.report.total_fraction, 4)});
+    csv.AddRow({bench::FormatTau(deadline), "P4-log",
+                FormatDouble(p4.report.DisparityAmong({ga, gb}), 4),
+                FormatDouble(p4.report.total_fraction, 4)});
+  }
+  table.Print();
+  bench::WriteCsv(csv, "fig07c_deadline_sweep.csv");
+}
+
+void Run(int argc, char** argv) {
+  bench::PrintBanner("Figure 7",
+                     "Rice-Facebook surrogate, budget problem (pe=0.01)");
+  const int worlds = bench::IntFlag(argc, argv, "worlds", 500);
+  const int budget = bench::IntFlag(argc, argv, "budget", 30);
+
+  Rng rng(7777);
+  const GroupedGraph gg = datasets::RiceFacebookSurrogate(rng);
+  std::printf("graph: %s, groups: %s, worlds=%d\n",
+              gg.graph.DebugString().c_str(), gg.groups.DebugString().c_str(),
+              worlds);
+
+  ExperimentConfig config;
+  config.deadline = 20;
+  config.num_worlds = worlds;
+
+  Stopwatch watch;
+  const auto [ga, gb] = ReportPair(gg, config, budget);
+  std::printf("reporting the most-disparate pair under P1: groups %d and %d\n\n",
+              ga, gb);
+  RunFig7a(gg, config, budget, ga, gb);
+  RunFig7b(gg, config, budget, ga, gb);
+  RunFig7c(gg, config, budget, ga, gb);
+  std::printf("[time] figure 7 total: %.1fs\n", watch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace tcim
+
+int main(int argc, char** argv) {
+  tcim::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Figure 8 [Rice-Facebook surrogate, cover problem]:
+//   8a — fraction influenced per greedy iteration for P2 vs P6 at Q = 0.2
+//        (reported for the two most-disparate groups);
+//   8b — per-group influence at quota Q ∈ {0.1, 0.2, 0.3};
+//   8c — solution set size |S| at each quota.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "core/experiment.h"
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+void Run(int argc, char** argv) {
+  bench::PrintBanner("Figure 8",
+                     "Rice-Facebook surrogate, cover problem (pe=0.01)");
+  const int worlds = bench::IntFlag(argc, argv, "worlds", 500);
+
+  Rng rng(7777);
+  const GroupedGraph gg = datasets::RiceFacebookSurrogate(rng);
+  std::printf("graph: %s, groups: %s, worlds=%d\n\n",
+              gg.graph.DebugString().c_str(), gg.groups.DebugString().c_str(),
+              worlds);
+
+  ExperimentConfig config;
+  config.deadline = 20;
+  config.num_worlds = worlds;
+
+  Stopwatch watch;
+
+  // --- Fig 8a: iteration trace at Q = 0.2. -------------------------------
+  const double kTraceQuota = 0.2;
+  const ExperimentOutcome p2_trace = RunCoverExperiment(
+      gg.graph, gg.groups, config, kTraceQuota, /*fair=*/false);
+  const ExperimentOutcome p6_trace = RunCoverExperiment(
+      gg.graph, gg.groups, config, kTraceQuota, /*fair=*/true);
+
+  // Report the pair with the highest disparity under P2's final solution.
+  const auto [ga, gb] = MostDisparatePair(p2_trace.report);
+  std::printf("reporting the most-disparate pair under P2: groups %d and %d\n\n",
+              ga, gb);
+
+  TablePrinter trace_table(
+      "Fig 8a: greedy iterations at Q=0.2 (selection-time estimates)",
+      {"iter", "P2 total", "P2 gA", "P2 gB", "P6 total", "P6 gA", "P6 gB"});
+  CsvWriter trace_csv({"iteration", "method", "total", "groupA", "groupB"});
+  const size_t iterations = std::max(p2_trace.selection.trace.size(),
+                                     p6_trace.selection.trace.size());
+  const NodeId n = gg.graph.num_nodes();
+  auto cell = [&](const std::vector<GreedyStep>& trace, size_t i,
+                  int what) -> std::string {
+    if (i >= trace.size()) return "-";
+    const GroupVector& cov = trace[i].coverage;
+    if (what == 0) return FormatDouble(GroupVectorTotal(cov) / n, 4);
+    const GroupId g = (what == 1) ? ga : gb;
+    return FormatDouble(cov[g] / gg.groups.GroupSize(g), 4);
+  };
+  for (size_t i = 0; i < iterations; ++i) {
+    trace_table.AddRow(
+        {StrFormat("%zu", i + 1), cell(p2_trace.selection.trace, i, 0),
+         cell(p2_trace.selection.trace, i, 1),
+         cell(p2_trace.selection.trace, i, 2),
+         cell(p6_trace.selection.trace, i, 0),
+         cell(p6_trace.selection.trace, i, 1),
+         cell(p6_trace.selection.trace, i, 2)});
+    if (i < p2_trace.selection.trace.size()) {
+      trace_csv.AddRow({StrFormat("%zu", i + 1), "P2",
+                        cell(p2_trace.selection.trace, i, 0),
+                        cell(p2_trace.selection.trace, i, 1),
+                        cell(p2_trace.selection.trace, i, 2)});
+    }
+    if (i < p6_trace.selection.trace.size()) {
+      trace_csv.AddRow({StrFormat("%zu", i + 1), "P6",
+                        cell(p6_trace.selection.trace, i, 0),
+                        cell(p6_trace.selection.trace, i, 1),
+                        cell(p6_trace.selection.trace, i, 2)});
+    }
+  }
+  trace_table.Print();
+  std::printf("P2 used %zu seeds, P6 used %zu seeds\n\n",
+              p2_trace.selection.seeds.size(),
+              p6_trace.selection.seeds.size());
+  bench::WriteCsv(trace_csv, "fig08a_iterations.csv");
+
+  // --- Fig 8b / 8c: quota sweep. ------------------------------------------
+  TablePrinter influence("Fig 8b: per-group influence vs quota Q",
+                         {"Q", "P2 gA", "P2 gB", "P6 gA", "P6 gB"});
+  TablePrinter sizes("Fig 8c: solution set size |S| vs quota Q",
+                     {"Q", "P2 |S|", "P6 |S|"});
+  CsvWriter csv({"Q", "method", "groupA", "groupB", "seeds", "reached"});
+
+  for (const double quota : {0.1, 0.2, 0.3}) {
+    const ExperimentOutcome p2 =
+        RunCoverExperiment(gg.graph, gg.groups, config, quota, false);
+    const ExperimentOutcome p6 =
+        RunCoverExperiment(gg.graph, gg.groups, config, quota, true);
+    influence.AddRow({FormatDouble(quota),
+                      FormatDouble(p2.report.normalized[ga], 4),
+                      FormatDouble(p2.report.normalized[gb], 4),
+                      FormatDouble(p6.report.normalized[ga], 4),
+                      FormatDouble(p6.report.normalized[gb], 4)});
+    sizes.AddRow({FormatDouble(quota),
+                  StrFormat("%zu", p2.selection.seeds.size()),
+                  StrFormat("%zu", p6.selection.seeds.size())});
+    csv.AddRow({FormatDouble(quota), "P2",
+                FormatDouble(p2.report.normalized[ga], 4),
+                FormatDouble(p2.report.normalized[gb], 4),
+                StrFormat("%zu", p2.selection.seeds.size()),
+                p2.selection.target_reached ? "1" : "0"});
+    csv.AddRow({FormatDouble(quota), "P6",
+                FormatDouble(p6.report.normalized[ga], 4),
+                FormatDouble(p6.report.normalized[gb], 4),
+                StrFormat("%zu", p6.selection.seeds.size()),
+                p6.selection.target_reached ? "1" : "0"});
+  }
+  influence.Print();
+  sizes.Print();
+  bench::WriteCsv(csv, "fig08bc_quota_sweep.csv");
+
+  std::printf("[time] figure 8 total: %.1fs\n", watch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace tcim
+
+int main(int argc, char** argv) {
+  tcim::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks for cascade simulation and RR-set generation.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/datasets.h"
+#include "sim/cascade.h"
+#include "sim/rr_sets.h"
+
+namespace tcim {
+namespace {
+
+const GroupedGraph& SharedGraph() {
+  static const GroupedGraph* graph = [] {
+    Rng rng(31337);
+    return new GroupedGraph(datasets::SyntheticDefault(rng));
+  }();
+  return *graph;
+}
+
+void BM_SimulateIc(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  Rng rng(1);
+  const std::vector<NodeId> seeds = {0, 100, 200, 300, 400};
+  int64_t activated = 0;
+  for (auto _ : state) {
+    activated += SimulateIc(gg.graph, seeds, rng).num_activated;
+  }
+  benchmark::DoNotOptimize(activated);
+}
+BENCHMARK(BM_SimulateIc);
+
+void BM_SimulateLt(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  Rng rng(1);
+  const std::vector<NodeId> seeds = {0, 100, 200, 300, 400};
+  int64_t activated = 0;
+  for (auto _ : state) {
+    activated += SimulateLt(gg.graph, seeds, rng).num_activated;
+  }
+  benchmark::DoNotOptimize(activated);
+}
+BENCHMARK(BM_SimulateLt);
+
+void BM_SimulateInWorld(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  WorldSampler sampler(&gg.graph, DiffusionModel::kIndependentCascade, 7);
+  const std::vector<NodeId> seeds = {0, 100, 200, 300, 400};
+  uint32_t world = 0;
+  int64_t activated = 0;
+  for (auto _ : state) {
+    activated +=
+        SimulateInWorld(gg.graph, seeds, sampler, world++, 20).num_activated;
+  }
+  benchmark::DoNotOptimize(activated);
+}
+BENCHMARK(BM_SimulateInWorld);
+
+void BM_RrSketchBuild(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  RrSketchOptions options;
+  options.sets_per_group = static_cast<int>(state.range(0));
+  options.deadline = 20;
+  for (auto _ : state) {
+    RrSketch sketch(&gg.graph, &gg.groups, options);
+    benchmark::DoNotOptimize(sketch.num_sets());
+  }
+  state.SetItemsProcessed(state.iterations() * options.sets_per_group * 2);
+}
+BENCHMARK(BM_RrSketchBuild)->Arg(1000)->Arg(4000);
+
+void BM_RrSelectSeeds(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  RrSketchOptions options;
+  options.sets_per_group = 4000;
+  options.deadline = 20;
+  RrSketch sketch(&gg.graph, &gg.groups, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sketch.SelectSeedsBudget(30, [](double z) { return z; }));
+  }
+}
+BENCHMARK(BM_RrSelectSeeds);
+
+}  // namespace
+}  // namespace tcim

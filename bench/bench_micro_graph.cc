@@ -1,0 +1,74 @@
+// Microbenchmarks for the graph substrate: CSR construction, generators,
+// BFS, and centrality.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.h"
+#include "graph/centrality.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+void BM_GraphBuild(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(5);
+  // Pre-draw the edge list so only Build() is timed.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const int64_t m = 8ll * n;
+  for (int64_t i = 0; i < m; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.NextIndex(n));
+    const NodeId b = static_cast<NodeId>(rng.NextIndex(n));
+    if (a != b) edges.emplace_back(a, b);
+  }
+  for (auto _ : state) {
+    GraphBuilder builder(n);
+    for (const auto& [a, b] : edges) builder.AddEdge(a, b, 0.1);
+    benchmark::DoNotOptimize(builder.Build().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GenerateSbm(benchmark::State& state) {
+  Rng rng(7);
+  SbmParams params;
+  params.num_nodes = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateSbm(params, rng).graph.num_edges());
+  }
+}
+BENCHMARK(BM_GenerateSbm)->Arg(500)->Arg(2000);
+
+void BM_BfsDistances(benchmark::State& state) {
+  Rng rng(11);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  NodeId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BfsDistances(gg.graph, source));
+    source = (source + 1) % gg.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_BfsDistances);
+
+void BM_PageRank(benchmark::State& state) {
+  Rng rng(13);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PageRank(gg.graph));
+  }
+}
+BENCHMARK(BM_PageRank);
+
+void BM_CoreNumbers(benchmark::State& state) {
+  Rng rng(17);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreNumbers(gg.graph));
+  }
+}
+BENCHMARK(BM_CoreNumbers);
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the influence oracle: marginal
+// gain queries, seed commits, and full-set estimation across deadlines and
+// world counts.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/datasets.h"
+#include "sim/arrival_oracle.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+namespace {
+
+const GroupedGraph& SharedGraph() {
+  static const GroupedGraph* graph = [] {
+    Rng rng(31337);
+    return new GroupedGraph(datasets::SyntheticDefault(rng));
+  }();
+  return *graph;
+}
+
+void BM_MarginalGain(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  OracleOptions options;
+  options.num_worlds = static_cast<int>(state.range(0));
+  options.deadline = static_cast<int>(state.range(1));
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  // A realistic mid-greedy state: a few committed seeds.
+  oracle.AddSeed(0);
+  oracle.AddSeed(100);
+  NodeId candidate = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.MarginalGain(candidate));
+    candidate = (candidate + 7) % gg.graph.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_worlds);
+}
+BENCHMARK(BM_MarginalGain)
+    ->Args({100, 5})
+    ->Args({100, 20})
+    ->Args({400, 20})
+    ->Args({400, 1 << 29});
+
+void BM_AddSeed(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  OracleOptions options;
+  options.num_worlds = static_cast<int>(state.range(0));
+  options.deadline = 20;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  NodeId seed = 0;
+  for (auto _ : state) {
+    if (static_cast<NodeId>(oracle.seeds().size()) >= gg.graph.num_nodes()) {
+      state.PauseTiming();
+      oracle.Reset();
+      seed = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(oracle.AddSeed(seed));
+    seed = (seed + 1) % gg.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_AddSeed)->Arg(100)->Arg(400);
+
+void BM_EstimateSeedSet(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  OracleOptions options;
+  options.num_worlds = static_cast<int>(state.range(0));
+  options.deadline = 20;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  std::vector<NodeId> seeds;
+  for (NodeId v = 0; v < 30; ++v) seeds.push_back(v * 16 % 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.EstimateGroupCoverage(seeds));
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_worlds);
+}
+BENCHMARK(BM_EstimateSeedSet)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_ArrivalOracleMarginalGain(benchmark::State& state) {
+  const GroupedGraph& gg = SharedGraph();
+  ArrivalOracleOptions options;
+  options.num_worlds = static_cast<int>(state.range(0));
+  const bool geometric_delays = state.range(1) != 0;
+  ArrivalOracle oracle(
+      &gg.graph, &gg.groups, TemporalWeight::ExponentialDiscount(0.8, 20),
+      geometric_delays ? DelaySampler::Geometric(0.5, 7)
+                       : DelaySampler::Unit(),
+      options);
+  oracle.AddSeed(0);
+  oracle.AddSeed(100);
+  NodeId candidate = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.MarginalGain(candidate));
+    candidate = (candidate + 7) % gg.graph.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_worlds);
+}
+BENCHMARK(BM_ArrivalOracleMarginalGain)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({400, 1});
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,82 @@
+// Shared helpers for the figure benches.
+//
+// Every bench prints the rows/series of one paper figure via TablePrinter
+// and also writes them as CSV files (fig04a.csv, ...) into the current
+// working directory for plotting. Numbers are expected to match the paper
+// in *shape* (who wins, direction of trends), not absolute value — see
+// EXPERIMENTS.md.
+
+#ifndef TCIM_BENCH_BENCH_UTIL_H_
+#define TCIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "sim/cascade.h"
+
+namespace tcim {
+namespace bench {
+
+// "∞" for kNoDeadline, the number otherwise.
+inline std::string FormatTau(int deadline) {
+  return deadline >= kNoDeadline ? "inf" : StrFormat("%d", deadline);
+}
+
+// Parses "--worlds=N" style overrides so slow machines can dial benches
+// down without recompiling. Returns `fallback` when the flag is absent.
+inline int IntFlag(int argc, char** argv, const std::string& name,
+                   int fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, prefix)) {
+      int64_t value = 0;
+      if (ParseInt64(arg.substr(prefix.size()), &value)) {
+        return static_cast<int>(value);
+      }
+    }
+  }
+  return fallback;
+}
+
+// Writes the CSV next to the current working directory and logs the path.
+inline void WriteCsv(const CsvWriter& csv, const std::string& filename) {
+  const Status status = csv.WriteToFile(filename);
+  if (status.ok()) {
+    std::printf("[csv] wrote %s (%zu rows)\n", filename.c_str(),
+                csv.num_rows());
+  } else {
+    std::printf("[csv] FAILED to write %s: %s\n", filename.c_str(),
+                status.ToString().c_str());
+  }
+}
+
+// Banner for a bench binary.
+inline void PrintBanner(const std::string& figure,
+                        const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+// Renders a GroupUtilityReport as table cells:
+// total fraction, per-group fractions, disparity.
+inline std::vector<std::string> ReportCells(const GroupUtilityReport& report) {
+  std::vector<std::string> cells;
+  cells.push_back(FormatDouble(report.total_fraction, 4));
+  for (const double fraction : report.normalized) {
+    cells.push_back(FormatDouble(fraction, 4));
+  }
+  cells.push_back(FormatDouble(report.disparity, 4));
+  return cells;
+}
+
+}  // namespace bench
+}  // namespace tcim
+
+#endif  // TCIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,101 @@
+// Scenario: exploring HOW influence spreads, not just how much.
+//
+// Uses the provenance and analytics APIs: simulates single cascades from
+// the fair vs unfair seed sets on the illustrative Figure-1 graph, exports
+// them as GraphViz DOT files (render with `dot -Tpng`), prints activation
+// histograms, and compares the groups' arrival curves — making the paper's
+// "the minority is influenced later, if at all" mechanism visible on an
+// individual-cascade level.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "sim/analytics.h"
+#include "sim/cascade.h"
+
+using namespace tcim;
+
+int main() {
+  const GroupedGraph gg = datasets::IllustrativeGraph();
+  std::printf("graph: %s (blue=%d, red=%d)\n\n",
+              gg.graph.DebugString().c_str(), gg.groups.GroupSize(0),
+              gg.groups.GroupSize(1));
+
+  // Solve both budget problems at B = 2 (the Figure-1 setting).
+  ExperimentConfig config;
+  config.deadline = 4;
+  config.num_worlds = 1000;
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 2);
+  const ConcaveFunction h = ConcaveFunction::Log();
+  const ExperimentOutcome p4 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 2, &h);
+
+  // One concrete cascade from each seed set, with provenance.
+  Rng rng(7);
+  const CascadeResult unfair_cascade =
+      SimulateIc(gg.graph, p1.selection.seeds, rng);
+  const CascadeResult fair_cascade =
+      SimulateIc(gg.graph, p4.selection.seeds, rng);
+
+  auto describe = [&](const char* name, const std::vector<NodeId>& seeds,
+                      const CascadeResult& cascade, const char* dot_path) {
+    std::printf("%s seeds {%s}: activated %d/%d nodes\n", name,
+                JoinInts(std::vector<int>(seeds.begin(), seeds.end()), ",")
+                    .c_str(),
+                cascade.num_activated, gg.graph.num_nodes());
+    const std::vector<int> histogram = cascade.ActivationHistogram();
+    std::printf("  new activations per step:");
+    for (size_t t = 0; t < histogram.size(); ++t) {
+      std::printf(" t%zu:%d", t, histogram[t]);
+    }
+    int red_reached = 0;
+    for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+      if (gg.groups.GroupOf(v) == 1 && cascade.activation_time[v] >= 0) {
+        ++red_reached;
+      }
+    }
+    std::printf("\n  red-group members reached: %d / %d\n", red_reached,
+                gg.groups.GroupSize(1));
+    const Status status =
+        WriteStringToFile(CascadeToDot(cascade, &gg.groups), dot_path);
+    if (status.ok()) {
+      std::printf("  provenance forest written to %s (render: dot -Tpng)\n",
+                  dot_path);
+    }
+    std::printf("\n");
+  };
+  describe("reach-maximizing (P1)", p1.selection.seeds, unfair_cascade,
+           "/tmp/cascade_p1.dot");
+  describe("fairness-aware (P4) ", p4.selection.seeds, fair_cascade,
+           "/tmp/cascade_p4.dot");
+
+  // Expected arrival curves: when does each group receive the information?
+  OracleOptions oracle_options;
+  oracle_options.num_worlds = 2000;
+  const ArrivalCurves p1_curves = ComputeArrivalCurves(
+      gg.graph, gg.groups, p1.selection.seeds, /*horizon=*/8, oracle_options);
+  const ArrivalCurves p4_curves = ComputeArrivalCurves(
+      gg.graph, gg.groups, p4.selection.seeds, 8, oracle_options);
+
+  std::printf("expected penetration by time t (blue | red):\n");
+  std::printf("  t   P1 blue  P1 red   P4 blue  P4 red\n");
+  for (int t = 0; t <= 8; ++t) {
+    std::printf("  %d   %.3f    %.3f    %.3f    %.3f\n", t,
+                p1_curves.NormalizedAt(0, t, gg.groups),
+                p1_curves.NormalizedAt(1, t, gg.groups),
+                p4_curves.NormalizedAt(0, t, gg.groups),
+                p4_curves.NormalizedAt(1, t, gg.groups));
+  }
+  std::printf(
+      "\nUnder P1 the red curve is flat at ~0 for the first two steps — a\n"
+      "deadline of 2 means the red group receives nothing. The fair seeds\n"
+      "start a cascade inside the red community, so its curve rises\n"
+      "immediately.\n");
+  return 0;
+}

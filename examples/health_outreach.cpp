@@ -1,0 +1,81 @@
+// Scenario: planning a public-health outreach quota.
+//
+// A health department must ensure that at least Q = 15% of EVERY demographic
+// group receives a screening reminder within τ = 10 contact rounds — an
+// equity requirement, not just an aggregate target. The question is how
+// many community health workers (seeds) that guarantee costs, compared to
+// an aggregate-only target (the paper's TCIM-Cover vs FairTCIM-Cover).
+//
+// Demonstrates: SolveTcimCover / SolveFairTcimCover, iteration traces, and
+// the disparity <= 1 - Q guarantee of feasible fair solutions.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "graph/generators.h"
+
+using namespace tcim;
+
+int main() {
+  // Three demographic groups with unequal sizes and connectivity; the
+  // smallest group is also the most poorly connected (the hard case).
+  Rng rng(1337);
+  const GroupedGraph city = GenerateBlockModel(
+      /*group_sizes=*/{900, 500, 200},
+      /*block_probability=*/
+      {{0.010, 0.0008, 0.0004},
+       {0.0008, 0.012, 0.0006},
+       {0.0004, 0.0006, 0.015}},
+      /*activation_probability=*/0.06, rng);
+  std::printf("city network: %s\n", city.graph.DebugString().c_str());
+  std::printf("demographics: %s\n\n", city.groups.DebugString().c_str());
+
+  ExperimentConfig config;
+  config.deadline = 10;
+  config.num_worlds = 300;
+  const double kQuota = 0.15;
+
+  const ExperimentOutcome aggregate = RunCoverExperiment(
+      city.graph, city.groups, config, kQuota, /*fair=*/false);
+  const ExperimentOutcome equitable = RunCoverExperiment(
+      city.graph, city.groups, config, kQuota, /*fair=*/true);
+
+  TablePrinter table("Reaching 15% within 10 rounds",
+                     {"plan", "workers", "group1", "group2", "group3",
+                      "disparity"});
+  auto add = [&](const char* plan, const ExperimentOutcome& outcome) {
+    table.AddRow({plan, StrFormat("%zu", outcome.selection.seeds.size()),
+                  FormatDouble(outcome.report.normalized[0], 4),
+                  FormatDouble(outcome.report.normalized[1], 4),
+                  FormatDouble(outcome.report.normalized[2], 4),
+                  FormatDouble(outcome.report.disparity, 4)});
+  };
+  add("aggregate quota (P2)", aggregate);
+  add("per-group quota (P6)", equitable);
+  table.Print();
+
+  // The price of equity, iteration by iteration: show when each plan
+  // believes each group crossed the quota.
+  std::printf("\nequitable plan, seed-by-seed progress:\n");
+  for (size_t i = 0; i < equitable.selection.trace.size(); ++i) {
+    const GreedyStep& step = equitable.selection.trace[i];
+    std::printf("  worker %2zu -> node %4d | coverage:", i + 1, step.node);
+    for (GroupId g = 0; g < city.groups.num_groups(); ++g) {
+      std::printf(" %5.3f", step.coverage[g] / city.groups.GroupSize(g));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nGuarantee check: the equitable plan is feasible, so its disparity "
+      "(%.3f) is at most 1 - Q = %.2f.\n",
+      equitable.report.disparity, 1.0 - kQuota);
+  std::printf(
+      "Equity premium: %zu extra workers over the aggregate plan's %zu.\n",
+      equitable.selection.seeds.size() - aggregate.selection.seeds.size(),
+      aggregate.selection.seeds.size());
+  return 0;
+}

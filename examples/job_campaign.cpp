@@ -1,0 +1,74 @@
+// Scenario: a time-critical job-information campaign.
+//
+// A public agency wants to spread word about a funding program whose
+// application window closes in a few days. Information that arrives after
+// the deadline is useless (the paper's motivating example). The network is
+// a university-town social graph with a well-connected majority community
+// and a sparsely connected minority community; the agency can brief B = 25
+// "ambassadors" (seeds).
+//
+// This example shows how the choice of objective changes WHO hears about
+// the program in time, across several deadlines — and what the fair
+// surrogate costs in total reach.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "graph/generators.h"
+
+using namespace tcim;
+
+int main() {
+  // A town-scale network: 2000 residents, 75% in the majority community,
+  // strong homophily. Word-of-mouth passes along an edge with prob. 0.04.
+  Rng rng(2026);
+  SbmParams params;
+  params.num_nodes = 2000;
+  params.majority_fraction = 0.75;
+  params.p_hom = 0.008;
+  params.p_het = 0.0004;
+  params.activation_probability = 0.04;
+  const GroupedGraph town = GenerateSbm(params, rng);
+  std::printf("town network: %s\n", town.graph.DebugString().c_str());
+  std::printf("communities : %s\n\n", town.groups.DebugString().c_str());
+
+  const int kAmbassadors = 25;
+  TablePrinter table(
+      "Who hears about the program before the deadline?",
+      {"days left", "policy", "reached (all)", "majority", "minority",
+       "disparity"});
+
+  const ConcaveFunction h = ConcaveFunction::Log();
+  for (const int days_left : {3, 7, 14}) {
+    ExperimentConfig config;
+    config.deadline = days_left;  // one propagation step per day
+    config.num_worlds = 300;
+
+    const ExperimentOutcome reach_max = RunBudgetExperiment(
+        town.graph, town.groups, config, kAmbassadors);
+    const ExperimentOutcome fair = RunBudgetExperiment(
+        town.graph, town.groups, config, kAmbassadors, &h);
+
+    auto add = [&](const char* policy, const GroupUtilityReport& report) {
+      table.AddRow({StrFormat("%d", days_left), policy,
+                    FormatDouble(report.total_fraction, 4),
+                    FormatDouble(report.normalized[0], 4),
+                    FormatDouble(report.normalized[1], 4),
+                    FormatDouble(report.disparity, 4)});
+    };
+    add("reach-maximizing (P1)", reach_max.report);
+    add("fairness-aware (P4)", fair.report);
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading the table: with a tight window the reach-maximizing policy\n"
+      "informs almost nobody in the minority community; the fairness-aware\n"
+      "policy spends a few ambassadors on minority hubs and closes the gap\n"
+      "at a small cost in total reach. The tighter the deadline, the larger\n"
+      "the correction it makes.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "cli/flags.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace tcim {
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  TCIM_CHECK(!flags_.count(name)) << "duplicate flag: " << name;
+  flags_[name] = Flag{Type::kString, default_value, default_value, help};
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  TCIM_CHECK(!flags_.count(name)) << "duplicate flag: " << name;
+  const std::string text = StrFormat("%lld", static_cast<long long>(default_value));
+  flags_[name] = Flag{Type::kInt, text, text, help};
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  TCIM_CHECK(!flags_.count(name)) << "duplicate flag: " << name;
+  const std::string text = FormatDouble(default_value, 10);
+  flags_[name] = Flag{Type::kDouble, text, text, help};
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  TCIM_CHECK(!flags_.count(name)) << "duplicate flag: " << name;
+  const std::string text = default_value ? "true" : "false";
+  flags_[name] = Flag{Type::kBool, text, text, help};
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t equals = name.find('=');
+    if (equals != std::string::npos) {
+      value = name.substr(equals + 1);
+      name = name.substr(0, equals);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag: --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        value = "true";  // bare --flag sets a bool
+      } else {
+        if (i + 1 >= argc) {
+          return InvalidArgumentError("flag --" + name + " needs a value");
+        }
+        value = argv[++i];
+      }
+    }
+    // Validate by type.
+    switch (flag.type) {
+      case Type::kString:
+        break;
+      case Type::kInt: {
+        int64_t parsed;
+        if (!ParseInt64(value, &parsed)) {
+          return InvalidArgumentError("flag --" + name +
+                                      ": not an integer: " + value);
+        }
+        break;
+      }
+      case Type::kDouble: {
+        double parsed;
+        if (!ParseDouble(value, &parsed)) {
+          return InvalidArgumentError("flag --" + name +
+                                      ": not a number: " + value);
+        }
+        break;
+      }
+      case Type::kBool:
+        if (value != "true" && value != "false" && value != "1" &&
+            value != "0") {
+          return InvalidArgumentError("flag --" + name +
+                                      ": not a bool: " + value);
+        }
+        break;
+    }
+    flag.value = value;
+  }
+  return Status::Ok();
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name,
+                                         Type type) const {
+  auto it = flags_.find(name);
+  TCIM_CHECK(it != flags_.end()) << "undeclared flag: " << name;
+  TCIM_CHECK(it->second.type == type) << "flag type mismatch: " << name;
+  return &it->second;
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  return Find(name, Type::kString)->value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  int64_t value = 0;
+  TCIM_CHECK(ParseInt64(Find(name, Type::kInt)->value, &value));
+  return value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  double value = 0.0;
+  TCIM_CHECK(ParseDouble(Find(name, Type::kDouble)->value, &value));
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& value = Find(name, Type::kBool)->value;
+  return value == "true" || value == "1";
+}
+
+std::string FlagParser::Help() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-18s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace tcim

@@ -1,0 +1,64 @@
+// A minimal command-line flag parser for the CLI tool and benches.
+//
+// Supports `--name=value` and `--name value` forms, bool flags
+// (`--fair` / `--fair=false`), and positional arguments. Unknown flags are
+// an error (catches typos in experiment scripts).
+
+#ifndef TCIM_CLI_FLAGS_H_
+#define TCIM_CLI_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcim {
+
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  // Declares a flag with a default value and a help line.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  // Parses argv (excluding argv[0]); returns an error for unknown flags or
+  // unparsable values. Remaining non-flag tokens become positional args.
+  Status Parse(int argc, const char* const* argv);
+
+  // Typed getters; the flag must have been declared (checked).
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Formatted --help text.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // current value, textual
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag* Find(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_CLI_FLAGS_H_

@@ -1,0 +1,68 @@
+// Lightweight assertion macros for programmer errors.
+//
+// The library does not use exceptions (see DESIGN.md). Invariant violations
+// and precondition failures abort the process with a readable message;
+// recoverable failures (e.g. file IO) are reported via common/status.h.
+
+#ifndef TCIM_COMMON_CHECK_H_
+#define TCIM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tcim {
+namespace internal_check {
+
+// Terminates the process, printing `file:line` and the failed condition
+// together with an optional streamed message.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr, "[TCIM_CHECK failed] %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Accumulates a streamed message for TCIM_CHECK(...) << "context".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace tcim
+
+// Aborts with a message when `condition` is false. Usable as a statement:
+//   TCIM_CHECK(b <= n) << "budget " << b << " exceeds node count " << n;
+#define TCIM_CHECK(condition)                                        \
+  while (!(condition))                                               \
+  ::tcim::internal_check::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+// Debug-only variant; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define TCIM_DCHECK(condition) TCIM_CHECK(true || (condition))
+#else
+#define TCIM_DCHECK(condition) TCIM_CHECK(condition)
+#endif
+
+#endif  // TCIM_COMMON_CHECK_H_

@@ -1,0 +1,125 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace tcim {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TCIM_CHECK(!header_.empty()) << "CSV header must be non-empty";
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  TCIM_CHECK(row.size() == header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (const double value : row) fields.push_back(FormatDouble(value));
+  AddRow(std::move(fields));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += QuoteField(header_[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteField(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return IoError("could not open for writing: " + path);
+  const std::string data = ToString();
+  const size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  if (written != data.size()) return IoError("short write to: " + path);
+  return Status::Ok();
+}
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  TCIM_CHECK(!header_.empty()) << "table header must be non-empty";
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TCIM_CHECK(row.size() == header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += (i == 0) ? "| " : " | ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+
+  size_t total = 1;
+  for (const size_t w : widths) total += w + 3;
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  const std::string rule(total, '-');
+  out += rule + "\n";
+  out += render_row(header_);
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule + "\n";
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace tcim

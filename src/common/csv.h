@@ -1,0 +1,65 @@
+// Tabular output: CSV files (for post-processing/plotting) and aligned
+// console tables (the bench binaries print the same rows the paper plots).
+
+#ifndef TCIM_COMMON_CSV_H_
+#define TCIM_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcim {
+
+// Accumulates rows and writes an RFC-4180-ish CSV file. Fields containing
+// commas, quotes or newlines are quoted.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  // Adds a row; must match the header arity (checked).
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with FormatDouble.
+  void AddNumericRow(const std::vector<double>& row);
+
+  // Serializes header + rows.
+  std::string ToString() const;
+
+  // Writes to `path`, creating/truncating the file.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-width console table with a title, for bench output.
+//
+//   TablePrinter table("Fig 4a", {"algorithm", "total", "group1", "group2"});
+//   table.AddRow({"P1", "0.27", "0.36", "0.05"});
+//   table.Print();
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table (used by Print and by tests).
+  std::string ToString() const;
+
+  // Writes ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_COMMON_CSV_H_

@@ -1,0 +1,106 @@
+// Minimal Status / Result<T> types for recoverable errors.
+//
+// The library avoids exceptions (Google style); fallible operations — chiefly
+// file IO and input parsing — return Status or Result<T>. Programmer errors
+// use TCIM_CHECK (common/check.h) instead.
+
+#ifndef TCIM_COMMON_STATUS_H_
+#define TCIM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tcim {
+
+// Error taxonomy; deliberately small.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-type success/error indicator with a message.
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "IO_ERROR: could not open file".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status IoError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+
+// Holds either a value or an error Status. Accessing the value of an
+// error result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    TCIM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TCIM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TCIM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TCIM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace tcim
+
+// Propagates an error Status from an expression returning Status.
+#define TCIM_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::tcim::Status tcim_status_ = (expr);     \
+    if (!tcim_status_.ok()) return tcim_status_; \
+  } while (false)
+
+#endif  // TCIM_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for coarse timing in benches and examples.
+
+#ifndef TCIM_COMMON_STOPWATCH_H_
+#define TCIM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tcim {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_COMMON_STOPWATCH_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared across the library (no locale dependence).
+
+#ifndef TCIM_COMMON_STRING_UTIL_H_
+#define TCIM_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcim {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+// Splits on arbitrary whitespace runs; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+// Removes leading/trailing whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Parses a non-negative integer / double; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* value);
+bool ParseDouble(std::string_view text, double* value);
+
+// Joins items with a separator, e.g. JoinInts({1,2,3}, ",") == "1,2,3".
+std::string JoinInts(const std::vector<int>& items, std::string_view sep);
+
+// Human-readable double: trims trailing zeros ("0.25", "3", "0.001").
+std::string FormatDouble(double value, int max_decimals = 6);
+
+}  // namespace tcim
+
+#endif  // TCIM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tcim {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown_ with drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0 && tasks_.empty()) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    TCIM_CHECK(!shutdown_) << "Schedule() after shutdown";
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0 && tasks_.empty(); });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  const size_t num_shards =
+      std::min<size_t>(n, workers_.size() + 1);  // caller participates
+  if (num_shards <= 1) {
+    body(0, n);
+    return;
+  }
+  const size_t chunk = (n + num_shards - 1) / num_shards;
+
+  // `remaining` is guarded by done_mutex so the last worker cannot touch the
+  // condition variable after the waiting caller has already unwound it.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t remaining = num_shards - 1;
+
+  for (size_t shard = 1; shard < num_shards; ++shard) {
+    const size_t begin = shard * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    Schedule([&, begin, end] {
+      if (begin < end) body(begin, end);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  // The caller works on the first shard while workers run the rest.
+  body(0, std::min(n, chunk));
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace tcim

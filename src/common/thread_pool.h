@@ -1,0 +1,65 @@
+// A fixed-size worker pool with a blocking ParallelFor.
+//
+// The influence oracle evaluates marginal gains over hundreds to thousands
+// of independent Monte-Carlo worlds; ParallelFor shards the world index
+// range across workers. The pool is created once and reused so that greedy
+// selection (thousands of oracle calls) does not pay thread start-up costs.
+
+#ifndef TCIM_COMMON_THREAD_POOL_H_
+#define TCIM_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tcim {
+
+class ThreadPool {
+ public:
+  // `num_threads` == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Runs body(shard_begin, shard_end) over a partition of [0, n) and blocks
+  // until all shards complete. Shards are contiguous and sized ~n/threads.
+  // The calling thread participates in the work. `body` must be safe to call
+  // concurrently on disjoint ranges.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& body);
+
+  // Enqueues a task for asynchronous execution (used by tests and the
+  // experiment harness for coarse-grained parallelism).
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every scheduled task has finished.
+  void Wait();
+
+  // Process-wide default pool (lazily constructed, never destroyed so that
+  // static-destruction order is not an issue).
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_COMMON_THREAD_POOL_H_

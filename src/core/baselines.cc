@@ -1,0 +1,119 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "graph/centrality.h"
+
+namespace tcim {
+
+std::vector<NodeId> TopDegreeSeeds(const Graph& graph, int budget) {
+  return TopKByScore(DegreeCentrality(graph), budget);
+}
+
+std::vector<NodeId> RandomSeeds(const Graph& graph, int budget, Rng& rng) {
+  TCIM_CHECK(budget <= graph.num_nodes())
+      << "budget exceeds the number of nodes";
+  std::unordered_set<NodeId> chosen;
+  std::vector<NodeId> seeds;
+  while (static_cast<int>(seeds.size()) < budget) {
+    const NodeId v = static_cast<NodeId>(rng.NextIndex(graph.num_nodes()));
+    if (chosen.insert(v).second) seeds.push_back(v);
+  }
+  return seeds;
+}
+
+std::vector<NodeId> PageRankSeeds(const Graph& graph, int budget) {
+  return TopKByScore(PageRank(graph), budget);
+}
+
+std::vector<NodeId> GroupProportionalDegreeSeeds(const Graph& graph,
+                                                 const GroupAssignment& groups,
+                                                 int budget) {
+  TCIM_CHECK(graph.num_nodes() == groups.num_nodes());
+  const std::vector<double> degree = DegreeCentrality(graph);
+  std::vector<NodeId> seeds;
+  for (GroupId g = 0; g < groups.num_groups(); ++g) {
+    // ⌈B · |V_g| / |V|⌉ slots for group g.
+    const int slots = static_cast<int>(
+        (static_cast<int64_t>(budget) * groups.GroupSize(g) +
+         groups.num_nodes() - 1) /
+        groups.num_nodes());
+    std::vector<NodeId> members = groups.GroupMembers(g);
+    std::sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
+      if (degree[a] != degree[b]) return degree[a] > degree[b];
+      return a < b;
+    });
+    for (int i = 0; i < slots && i < static_cast<int>(members.size()); ++i) {
+      seeds.push_back(members[i]);
+    }
+  }
+  // Proportional rounding can overshoot; keep the globally best `budget`.
+  if (static_cast<int>(seeds.size()) > budget) {
+    std::sort(seeds.begin(), seeds.end(), [&](NodeId a, NodeId b) {
+      if (degree[a] != degree[b]) return degree[a] > degree[b];
+      return a < b;
+    });
+    seeds.resize(budget);
+  }
+  return seeds;
+}
+
+std::vector<NodeId> DegreeDiscountSeeds(const Graph& graph, int budget) {
+  const NodeId n = graph.num_nodes();
+  TCIM_CHECK(budget >= 0);
+  // Mean edge probability as the heuristic's p.
+  double p = 0.0;
+  if (graph.num_edges() > 0) {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      p += graph.EdgeProbability(e);
+    }
+    p /= static_cast<double>(graph.num_edges());
+  }
+
+  std::vector<double> degree(n);
+  std::vector<int> chosen_neighbors(n, 0);  // t_v of the paper
+  std::vector<uint8_t> selected(n, 0);
+  for (NodeId v = 0; v < n; ++v) degree[v] = graph.OutDegree(v);
+
+  // Score dd_v = d_v - 2 t_v - (d_v - t_v) t_v p, recomputed lazily: only
+  // neighbors of the picked seed change, so update scores locally.
+  std::vector<double> score(n);
+  for (NodeId v = 0; v < n; ++v) score[v] = degree[v];
+
+  std::vector<NodeId> seeds;
+  const int take = std::min<int>(budget, n);
+  seeds.reserve(take);
+  for (int i = 0; i < take; ++i) {
+    NodeId best = -1;
+    // Scores can go arbitrarily negative; this is a ranking heuristic, so
+    // keep picking until the budget (or the node set) is exhausted.
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!selected[v]) {
+        if (score[v] > best_score ||
+            (score[v] == best_score && best != -1 && v < best)) {
+          best_score = score[v];
+          best = v;
+        }
+      }
+    }
+    if (best < 0) break;
+    selected[best] = 1;
+    seeds.push_back(best);
+    // Discount the out-neighbors of the new seed.
+    for (const AdjacentEdge& edge : graph.OutEdges(best)) {
+      const NodeId w = edge.node;
+      if (selected[w]) continue;
+      chosen_neighbors[w]++;
+      const double d = degree[w];
+      const double t = chosen_neighbors[w];
+      score[w] = d - 2.0 * t - (d - t) * t * p;
+    }
+  }
+  return seeds;
+}
+
+}  // namespace tcim

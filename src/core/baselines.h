@@ -1,0 +1,41 @@
+// Heuristic seeding baselines used in ablations and examples: the paper's
+// §4.2 argument is that structure-driven seeders concentrate on central
+// majority nodes; these make that comparison concrete.
+
+#ifndef TCIM_CORE_BASELINES_H_
+#define TCIM_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+// Top-B nodes by out-degree.
+std::vector<NodeId> TopDegreeSeeds(const Graph& graph, int budget);
+
+// B distinct uniform-random nodes.
+std::vector<NodeId> RandomSeeds(const Graph& graph, int budget, Rng& rng);
+
+// Top-B nodes by PageRank.
+std::vector<NodeId> PageRankSeeds(const Graph& graph, int budget);
+
+// Degree seeding with a per-group proportional quota: each group receives
+// ⌈B·|V_i|/|V|⌉ of the top-degree slots (a common "diversity" heuristic;
+// contrast with the principled P4 objective).
+std::vector<NodeId> GroupProportionalDegreeSeeds(const Graph& graph,
+                                                 const GroupAssignment& groups,
+                                                 int budget);
+
+// DegreeDiscount (Chen, Wang, Yang, KDD'09): degree seeding that discounts
+// each node's score for neighbors already chosen as seeds — the classic
+// near-greedy IC heuristic. Uses the graph's mean edge probability as the
+// discount parameter p; much better than raw degree, much cheaper than
+// greedy.
+std::vector<NodeId> DegreeDiscountSeeds(const Graph& graph, int budget);
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_BASELINES_H_

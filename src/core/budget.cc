@@ -1,0 +1,27 @@
+#include "core/budget.h"
+
+namespace tcim {
+
+GreedyResult SolveTcimBudget(GroupCoverageOracle& oracle,
+                             const BudgetOptions& options) {
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = options.budget;
+  greedy.lazy = options.lazy;
+  greedy.candidates = options.candidates;
+  return RunGreedy(oracle, objective, greedy);
+}
+
+GreedyResult SolveFairTcimBudget(
+    GroupCoverageOracle& oracle, ConcaveFunction h, const BudgetOptions& options,
+    ConcaveSumObjective::Options objective_options) {
+  ConcaveSumObjective objective(h, &oracle.groups(),
+                                std::move(objective_options));
+  GreedyOptions greedy;
+  greedy.max_seeds = options.budget;
+  greedy.lazy = options.lazy;
+  greedy.candidates = options.candidates;
+  return RunGreedy(oracle, objective, greedy);
+}
+
+}  // namespace tcim

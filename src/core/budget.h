@@ -1,0 +1,39 @@
+// Solvers for the budget-constrained problems.
+//
+//   SolveTcimBudget      — P1: max f_τ(S;V)         s.t. |S| ≤ B
+//   SolveFairTcimBudget  — P4: max Σ_i H(f_τ(S;V_i)) s.t. |S| ≤ B
+//
+// Both run the shared (lazy-)greedy engine, which carries the paper's
+// guarantees: (1−1/e)·OPT for P1 (§3.4) and Theorem 1 for P4.
+
+#ifndef TCIM_CORE_BUDGET_H_
+#define TCIM_CORE_BUDGET_H_
+
+#include <vector>
+
+#include "core/concave.h"
+#include "core/greedy.h"
+#include "core/objectives.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+
+struct BudgetOptions {
+  int budget = 30;
+  bool lazy = true;
+  // Optional candidate restriction (nullptr = all nodes).
+  const std::vector<NodeId>* candidates = nullptr;
+};
+
+// P1 (TCIM-Budget): greedy maximization of total time-critical influence.
+GreedyResult SolveTcimBudget(GroupCoverageOracle& oracle,
+                             const BudgetOptions& options);
+
+// P4 (FairTCIM-Budget): greedy maximization of Σ_i λ_i H(f_i).
+GreedyResult SolveFairTcimBudget(GroupCoverageOracle& oracle, ConcaveFunction h,
+                                 const BudgetOptions& options,
+                                 ConcaveSumObjective::Options objective_options = {});
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_BUDGET_H_

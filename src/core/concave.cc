@@ -1,0 +1,57 @@
+#include "core/concave.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace tcim {
+
+ConcaveFunction ConcaveFunction::Power(double alpha) {
+  TCIM_CHECK(alpha > 0.0 && alpha <= 1.0)
+      << "power exponent must be in (0,1], got " << alpha;
+  return ConcaveFunction(Kind::kPower, alpha);
+}
+
+ConcaveFunction ConcaveFunction::AlphaFair(double alpha) {
+  TCIM_CHECK(alpha >= 0.0) << "alpha-fairness needs alpha >= 0, got " << alpha;
+  if (alpha == 0.0) return Identity();
+  if (alpha == 1.0) return Log();
+  return ConcaveFunction(Kind::kAlphaFair, alpha);
+}
+
+double ConcaveFunction::operator()(double z) const {
+  TCIM_DCHECK(z >= 0.0) << "concave wrapper evaluated at negative " << z;
+  switch (kind_) {
+    case Kind::kIdentity:
+      return z;
+    case Kind::kLog:
+      return std::log1p(z);
+    case Kind::kSqrt:
+      return std::sqrt(z);
+    case Kind::kPower:
+      return std::pow(z, alpha_);
+    case Kind::kAlphaFair:
+      // ((1+z)^{1-α} - 1) / (1-α); nonnegative, increasing, concave, 0 at 0.
+      return (std::pow(1.0 + z, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+  }
+  return z;
+}
+
+std::string ConcaveFunction::name() const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return "identity";
+    case Kind::kLog:
+      return "log";
+    case Kind::kSqrt:
+      return "sqrt";
+    case Kind::kPower:
+      return StrFormat("power(%s)", FormatDouble(alpha_, 3).c_str());
+    case Kind::kAlphaFair:
+      return StrFormat("alpha_fair(%s)", FormatDouble(alpha_, 3).c_str());
+  }
+  return "unknown";
+}
+
+}  // namespace tcim

@@ -1,0 +1,57 @@
+// Monotone concave wrappers H for the FairTCIM-Budget surrogate (paper P4).
+//
+// The curvature of H controls the fairness/influence trade-off (paper
+// §5.1.2): higher curvature (log) penalizes disparity harder at more cost
+// to total influence; H = identity recovers the unfair problem P1.
+//
+// The paper writes H(z) = log(z); we use log(1 + z) so H(0) is defined
+// (a seed set can leave a group uninfluenced) — the curvature ordering
+// log ≻ sqrt ≻ power(α→1) ≻ identity is unchanged. Power(α) with
+// α ∈ (0, 1) generalizes sqrt and is used in the curvature ablation.
+
+#ifndef TCIM_CORE_CONCAVE_H_
+#define TCIM_CORE_CONCAVE_H_
+
+#include <string>
+
+namespace tcim {
+
+class ConcaveFunction {
+ public:
+  enum class Kind { kIdentity, kLog, kSqrt, kPower, kAlphaFair };
+
+  static ConcaveFunction Identity() { return ConcaveFunction(Kind::kIdentity, 1.0); }
+  static ConcaveFunction Log() { return ConcaveFunction(Kind::kLog, 1.0); }
+  static ConcaveFunction Sqrt() { return ConcaveFunction(Kind::kSqrt, 0.5); }
+  // z^alpha with alpha in (0, 1]; alpha = 1 is identity-shaped.
+  static ConcaveFunction Power(double alpha);
+
+  // The α-fairness welfare family (Mo & Walrand 2000), shifted by 1 so it
+  // is finite at z = 0 (consistent with Log() = log(1+z)):
+  //   α = 0            -> z                (utilitarian, = Identity)
+  //   α = 1            -> log(1+z)         (proportional fairness, = Log)
+  //   α ∈ (0,1)∪(1,∞)  -> ((1+z)^{1-α} - 1) / (1-α)
+  // Larger α penalizes disparity harder; α → ∞ approaches maximin (for
+  // exact maximin use SolveMaximinTcim in core/maximin.h). Implements the
+  // paper's future-work "extensions to different notions of fairness".
+  static ConcaveFunction AlphaFair(double alpha);
+
+  Kind kind() const { return kind_; }
+  double alpha() const { return alpha_; }
+
+  // H(z); requires z >= 0.
+  double operator()(double z) const;
+
+  // "identity", "log", "sqrt", "power(0.25)".
+  std::string name() const;
+
+ private:
+  ConcaveFunction(Kind kind, double alpha) : kind_(kind), alpha_(alpha) {}
+
+  Kind kind_;
+  double alpha_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_CONCAVE_H_

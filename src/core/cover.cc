@@ -1,0 +1,29 @@
+#include "core/cover.h"
+
+namespace tcim {
+
+GreedyResult SolveTcimCover(GroupCoverageOracle& oracle,
+                            const CoverOptions& options) {
+  TotalQuotaObjective objective(options.quota, oracle.graph().num_nodes());
+  GreedyOptions greedy;
+  greedy.max_seeds = options.max_seeds;
+  greedy.target_value = objective.SaturationValue();
+  greedy.target_tolerance = options.tolerance;
+  greedy.lazy = options.lazy;
+  greedy.candidates = options.candidates;
+  return RunGreedy(oracle, objective, greedy);
+}
+
+GreedyResult SolveFairTcimCover(GroupCoverageOracle& oracle,
+                                const CoverOptions& options) {
+  TruncatedQuotaObjective objective(options.quota, &oracle.groups());
+  GreedyOptions greedy;
+  greedy.max_seeds = options.max_seeds;
+  greedy.target_value = objective.SaturationValue();
+  greedy.target_tolerance = options.tolerance;
+  greedy.lazy = options.lazy;
+  greedy.candidates = options.candidates;
+  return RunGreedy(oracle, objective, greedy);
+}
+
+}  // namespace tcim

@@ -1,0 +1,46 @@
+// Solvers for the coverage-constrained problems.
+//
+//   SolveTcimCover      — P2: min |S| s.t. f_τ(S;V)/|V| ≥ Q
+//   SolveFairTcimCover  — P6: min |S| s.t. f_τ(S;V_i)/|V_i| ≥ Q for all i
+//
+// Both run greedy on a truncated (hence still monotone submodular)
+// progress objective until it saturates: min(f/|V|, Q) for P2 and
+// Σ_i min(f_i/|V_i|, Q) for P6 (the truncation rewrite in the paper's
+// Theorem-2 proof). Theorem 2 bounds |Ŝ| by ln(1+|V|)·Σ_i|S*_i|; any
+// feasible P6 solution has disparity ≤ 1−Q.
+
+#ifndef TCIM_CORE_COVER_H_
+#define TCIM_CORE_COVER_H_
+
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/objectives.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+
+struct CoverOptions {
+  // The coverage quota Q ∈ [0, 1].
+  double quota = 0.2;
+  // Hard cap on the seed-set size; greedy also stops when no candidate has
+  // positive marginal gain (quota unreachable on the estimate).
+  int max_seeds = 500;
+  bool lazy = true;
+  const std::vector<NodeId>* candidates = nullptr;
+  // Estimates are Monte-Carlo; accept the quota within this slack.
+  double tolerance = 1e-9;
+};
+
+// P2 (TCIM-Cover): smallest greedy set with total coverage ≥ Q·|V|.
+GreedyResult SolveTcimCover(GroupCoverageOracle& oracle,
+                            const CoverOptions& options);
+
+// P6 (FairTCIM-Cover): smallest greedy set with every group's normalized
+// coverage ≥ Q.
+GreedyResult SolveFairTcimCover(GroupCoverageOracle& oracle,
+                                const CoverOptions& options);
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_COVER_H_

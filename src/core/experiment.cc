@@ -1,0 +1,73 @@
+#include "core/experiment.h"
+
+namespace tcim {
+
+OracleOptions SelectionOracleOptions(const ExperimentConfig& config) {
+  OracleOptions options;
+  options.num_worlds = config.num_worlds;
+  options.deadline = config.deadline;
+  options.model = config.model;
+  options.seed = config.selection_seed;
+  options.pool = config.pool;
+  return options;
+}
+
+OracleOptions EvaluationOracleOptions(const ExperimentConfig& config) {
+  OracleOptions options;
+  options.num_worlds =
+      config.eval_num_worlds > 0 ? config.eval_num_worlds : config.num_worlds;
+  options.deadline = config.deadline;
+  options.model = config.model;
+  options.seed = config.evaluation_seed;
+  options.pool = config.pool;
+  return options;
+}
+
+GroupUtilityReport EvaluateSeedSet(const Graph& graph,
+                                   const GroupAssignment& groups,
+                                   const std::vector<NodeId>& seeds,
+                                   const ExperimentConfig& config) {
+  InfluenceOracle oracle(&graph, &groups, EvaluationOracleOptions(config));
+  return MakeGroupUtilityReport(oracle.EstimateGroupCoverage(seeds), groups);
+}
+
+ExperimentOutcome RunBudgetExperiment(
+    const Graph& graph, const GroupAssignment& groups,
+    const ExperimentConfig& config, int budget, const ConcaveFunction* h,
+    const ConcaveSumObjective::Options& objective_options) {
+  InfluenceOracle oracle(&graph, &groups, SelectionOracleOptions(config));
+  BudgetOptions options;
+  options.budget = budget;
+  options.candidates = config.candidates;
+
+  ExperimentOutcome outcome;
+  if (h == nullptr) {
+    outcome.selection = SolveTcimBudget(oracle, options);
+  } else {
+    outcome.selection =
+        SolveFairTcimBudget(oracle, *h, options, objective_options);
+  }
+  outcome.report =
+      EvaluateSeedSet(graph, groups, outcome.selection.seeds, config);
+  return outcome;
+}
+
+ExperimentOutcome RunCoverExperiment(const Graph& graph,
+                                     const GroupAssignment& groups,
+                                     const ExperimentConfig& config,
+                                     double quota, bool fair, int max_seeds) {
+  InfluenceOracle oracle(&graph, &groups, SelectionOracleOptions(config));
+  CoverOptions options;
+  options.quota = quota;
+  options.max_seeds = max_seeds;
+  options.candidates = config.candidates;
+
+  ExperimentOutcome outcome;
+  outcome.selection = fair ? SolveFairTcimCover(oracle, options)
+                           : SolveTcimCover(oracle, options);
+  outcome.report =
+      EvaluateSeedSet(graph, groups, outcome.selection.seeds, config);
+  return outcome;
+}
+
+}  // namespace tcim

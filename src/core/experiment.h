@@ -1,0 +1,76 @@
+// Shared experiment harness: configure → solve → evaluate on fresh worlds.
+//
+// Every figure bench follows the paper's protocol (§6.1): seeds are picked
+// by solving the corresponding problem on one Monte-Carlo estimate, then the
+// reported utilities are re-estimated with an *independent* set of worlds
+// ("we use this seed set to estimate the expected number of nodes
+// influenced"). This module provides that protocol once so the benches only
+// differ in dataset and parameter sweeps.
+
+#ifndef TCIM_CORE_EXPERIMENT_H_
+#define TCIM_CORE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/budget.h"
+#include "core/concave.h"
+#include "core/cover.h"
+#include "core/fairness.h"
+#include "core/greedy.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+
+struct ExperimentConfig {
+  // Deadline τ (kNoDeadline for τ = ∞).
+  int deadline = 20;
+  // Worlds used for seed *selection*.
+  int num_worlds = 200;
+  // Worlds used for *evaluation*; 0 means "same count as num_worlds".
+  int eval_num_worlds = 0;
+  uint64_t selection_seed = 0x5e1ec7ull;
+  uint64_t evaluation_seed = 0xe7a1ull;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  // Optional candidate restriction for selection (Instagram: 5000 nodes).
+  const std::vector<NodeId>* candidates = nullptr;
+  ThreadPool* pool = nullptr;
+};
+
+// A solved-and-evaluated experiment.
+struct ExperimentOutcome {
+  GreedyResult selection;      // greedy trace on the selection worlds
+  GroupUtilityReport report;   // fresh-world evaluation of selection.seeds
+};
+
+// Budget problems. `h == nullptr` solves P1 (TCIM-Budget); otherwise P4
+// (FairTCIM-Budget) with the given concave wrapper.
+ExperimentOutcome RunBudgetExperiment(
+    const Graph& graph, const GroupAssignment& groups,
+    const ExperimentConfig& config, int budget,
+    const ConcaveFunction* h = nullptr,
+    const ConcaveSumObjective::Options& objective_options = {});
+
+// Cover problems. `fair == false` solves P2 (TCIM-Cover); otherwise P6
+// (FairTCIM-Cover).
+ExperimentOutcome RunCoverExperiment(const Graph& graph,
+                                     const GroupAssignment& groups,
+                                     const ExperimentConfig& config,
+                                     double quota, bool fair,
+                                     int max_seeds = 500);
+
+// Evaluates an arbitrary seed set on the configuration's evaluation worlds.
+GroupUtilityReport EvaluateSeedSet(const Graph& graph,
+                                   const GroupAssignment& groups,
+                                   const std::vector<NodeId>& seeds,
+                                   const ExperimentConfig& config);
+
+// Builds the selection oracle for a config (exposed for custom flows).
+OracleOptions SelectionOracleOptions(const ExperimentConfig& config);
+OracleOptions EvaluationOracleOptions(const ExperimentConfig& config);
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_EXPERIMENT_H_

@@ -1,0 +1,70 @@
+#include "core/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace tcim {
+
+double DisparityOfNormalized(const std::vector<double>& normalized) {
+  if (normalized.size() < 2) return 0.0;
+  const auto [min_it, max_it] =
+      std::minmax_element(normalized.begin(), normalized.end());
+  return *max_it - *min_it;
+}
+
+double GroupUtilityReport::DisparityAmong(
+    const std::vector<GroupId>& group_ids) const {
+  double lo = 1.0, hi = 0.0;
+  for (const GroupId g : group_ids) {
+    TCIM_CHECK(g >= 0 && g < static_cast<GroupId>(normalized.size()))
+        << "group id out of range: " << g;
+    lo = std::min(lo, normalized[g]);
+    hi = std::max(hi, normalized[g]);
+  }
+  return group_ids.size() < 2 ? 0.0 : hi - lo;
+}
+
+std::string GroupUtilityReport::DebugString() const {
+  std::string out =
+      StrFormat("total=%s groups=[", FormatDouble(total_fraction, 4).c_str());
+  for (size_t g = 0; g < normalized.size(); ++g) {
+    if (g > 0) out += ", ";
+    out += FormatDouble(normalized[g], 4);
+  }
+  out += StrFormat("] disparity=%s", FormatDouble(disparity, 4).c_str());
+  return out;
+}
+
+GroupUtilityReport MakeGroupUtilityReport(const GroupVector& coverage,
+                                          const GroupAssignment& groups) {
+  TCIM_CHECK(static_cast<int>(coverage.size()) == groups.num_groups());
+  GroupUtilityReport report;
+  report.coverage = coverage;
+  report.normalized.resize(coverage.size());
+  for (size_t g = 0; g < coverage.size(); ++g) {
+    report.normalized[g] =
+        coverage[g] / groups.GroupSize(static_cast<GroupId>(g));
+    report.total += coverage[g];
+  }
+  report.total_fraction = report.total / groups.num_nodes();
+  report.disparity = DisparityOfNormalized(report.normalized);
+  return report;
+}
+
+std::pair<GroupId, GroupId> MostDisparatePair(
+    const GroupUtilityReport& report) {
+  TCIM_CHECK(report.normalized.size() >= 2) << "need at least two groups";
+  const auto min_it =
+      std::min_element(report.normalized.begin(), report.normalized.end());
+  const auto max_it =
+      std::max_element(report.normalized.begin(), report.normalized.end());
+  GroupId lo = static_cast<GroupId>(min_it - report.normalized.begin());
+  GroupId hi = static_cast<GroupId>(max_it - report.normalized.begin());
+  if (hi > lo) std::swap(lo, hi);
+  return {hi, lo};  // (smaller id, larger id)
+}
+
+}  // namespace tcim

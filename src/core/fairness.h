@@ -1,0 +1,47 @@
+// Fairness measurement (paper §4.3).
+//
+// The unfairness of a seed set is the maximum pairwise gap between
+// group-normalized utilities (Eq. 2):
+//
+//   disparity(S) = max_{i,j} | f_τ(S;V_i)/|V_i| − f_τ(S;V_j)/|V_j| |.
+
+#ifndef TCIM_CORE_FAIRNESS_H_
+#define TCIM_CORE_FAIRNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/groups.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+
+// Eq. 2 over already-normalized per-group utilities.
+double DisparityOfNormalized(const std::vector<double>& normalized);
+
+// Per-group and aggregate utilities of one evaluated seed set.
+struct GroupUtilityReport {
+  GroupVector coverage;             // f_τ(S; V_i), expected counts
+  std::vector<double> normalized;   // f_τ(S; V_i) / |V_i|
+  double total = 0.0;               // f_τ(S; V)
+  double total_fraction = 0.0;      // f_τ(S; V) / |V|
+  double disparity = 0.0;           // Eq. 2
+
+  // Restricts Eq. 2 to a subset of groups (the paper reports the pair with
+  // the highest disparity on the 4-group Rice data).
+  double DisparityAmong(const std::vector<GroupId>& group_ids) const;
+
+  // "total=0.27 groups=[0.36, 0.05] disparity=0.31".
+  std::string DebugString() const;
+};
+
+// Builds a report from per-group expected counts.
+GroupUtilityReport MakeGroupUtilityReport(const GroupVector& coverage,
+                                          const GroupAssignment& groups);
+
+// Indices (i, j) of the most-disparate group pair in a report.
+std::pair<GroupId, GroupId> MostDisparatePair(const GroupUtilityReport& report);
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_FAIRNESS_H_

@@ -1,0 +1,196 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tcim {
+
+namespace {
+
+struct HeapEntry {
+  double gain;        // possibly stale upper bound on the objective gain
+  NodeId node;
+  int evaluated_at;   // seed-count at the time `gain` was computed
+
+  bool operator<(const HeapEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return node > other.node;  // deterministic tie-break: smaller id first
+  }
+};
+
+}  // namespace
+
+GreedyResult RunGreedy(GroupCoverageOracle& oracle, const Objective& objective,
+                       const GreedyOptions& options) {
+  TCIM_CHECK(options.max_seeds >= 0);
+  oracle.Reset();
+
+  std::vector<NodeId> candidates;
+  if (options.candidates != nullptr) {
+    candidates = *options.candidates;
+    for (const NodeId v : candidates) {
+      TCIM_CHECK(v >= 0 && v < oracle.graph().num_nodes())
+          << "candidate out of range: " << v;
+    }
+  } else {
+    candidates.resize(oracle.graph().num_nodes());
+    for (NodeId v = 0; v < oracle.graph().num_nodes(); ++v) candidates[v] = v;
+  }
+
+  GreedyResult result;
+  result.coverage.assign(oracle.num_groups(), 0.0);
+  result.objective_value = objective.Value(result.coverage);
+
+  auto target_met = [&] {
+    return result.objective_value + options.target_tolerance >=
+           options.target_value;
+  };
+  if (target_met() || options.max_seeds == 0) {
+    result.target_reached = target_met();
+    return result;
+  }
+
+  std::vector<uint8_t> selected(oracle.graph().num_nodes(), 0);
+
+  if (options.stochastic_epsilon > 0.0) {
+    // Stochastic greedy: per iteration, evaluate a fresh uniform sample of
+    // unselected candidates of size (n/B)·ln(1/ε).
+    TCIM_CHECK(options.stochastic_epsilon < 1.0)
+        << "stochastic epsilon must be in (0,1)";
+    Rng rng(options.stochastic_seed);
+    const size_t sample_size = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(static_cast<double>(candidates.size()) /
+                         options.max_seeds *
+                         std::log(1.0 / options.stochastic_epsilon))));
+    std::vector<NodeId> unselected = candidates;
+    int consecutive_empty_batches = 0;
+    while (static_cast<int>(result.seeds.size()) < options.max_seeds &&
+           !unselected.empty() && !target_met()) {
+      // Partial Fisher-Yates: move a fresh sample to the front.
+      const size_t take = std::min(sample_size, unselected.size());
+      for (size_t i = 0; i < take; ++i) {
+        const size_t j = i + rng.NextIndex(unselected.size() - i);
+        std::swap(unselected[i], unselected[j]);
+      }
+      NodeId best = -1;
+      size_t best_index = 0;
+      double best_gain = 0.0;
+      for (size_t i = 0; i < take; ++i) {
+        const GroupVector marginal = oracle.MarginalGain(unselected[i]);
+        ++result.oracle_calls;
+        const double gain = objective.Gain(result.coverage, marginal);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = unselected[i];
+          best_index = i;
+        }
+      }
+      if (best < 0) {
+        // Sampled batch was all zero-gain. If it covered every remaining
+        // candidate, or keeps happening, no candidate can help — stop.
+        if (take == unselected.size() || ++consecutive_empty_batches >= 8) {
+          break;
+        }
+        continue;
+      }
+      consecutive_empty_batches = 0;
+      const GroupVector realized = oracle.AddSeed(best);
+      selected[best] = 1;
+      unselected.erase(unselected.begin() + best_index);
+      for (size_t g = 0; g < result.coverage.size(); ++g) {
+        result.coverage[g] += realized[g];
+      }
+      result.objective_value = objective.Value(result.coverage);
+      result.seeds.push_back(best);
+      result.trace.push_back(GreedyStep{best, best_gain,
+                                        result.objective_value,
+                                        result.coverage});
+    }
+    result.target_reached = target_met();
+    return result;
+  }
+
+  if (options.lazy) {
+    // CELF: initialize the heap with first-iteration gains.
+    std::priority_queue<HeapEntry> heap;
+    for (const NodeId v : candidates) {
+      if (selected[v]) continue;  // tolerate duplicate candidate entries
+      selected[v] = 1;            // mark to dedup; cleared below
+    }
+    for (const NodeId v : candidates) {
+      if (!selected[v]) continue;
+      selected[v] = 0;
+      const GroupVector marginal = oracle.MarginalGain(v);
+      ++result.oracle_calls;
+      heap.push(HeapEntry{objective.Gain(result.coverage, marginal), v, 0});
+    }
+
+    while (static_cast<int>(result.seeds.size()) < options.max_seeds &&
+           !heap.empty() && !target_met()) {
+      HeapEntry top = heap.top();
+      heap.pop();
+      if (selected[top.node]) continue;
+      const int iteration = static_cast<int>(result.seeds.size());
+      if (top.evaluated_at != iteration) {
+        // Stale: re-evaluate against the current coverage and reinsert.
+        const GroupVector marginal = oracle.MarginalGain(top.node);
+        ++result.oracle_calls;
+        heap.push(HeapEntry{objective.Gain(result.coverage, marginal),
+                            top.node, iteration});
+        continue;
+      }
+      if (top.gain <= 0.0) break;  // nothing can improve the objective
+      // Fresh maximum: commit it.
+      const GroupVector realized = oracle.AddSeed(top.node);
+      selected[top.node] = 1;
+      for (size_t g = 0; g < result.coverage.size(); ++g) {
+        result.coverage[g] += realized[g];
+      }
+      result.objective_value = objective.Value(result.coverage);
+      result.seeds.push_back(top.node);
+      result.trace.push_back(GreedyStep{top.node, top.gain,
+                                        result.objective_value,
+                                        result.coverage});
+    }
+  } else {
+    // Plain greedy: re-evaluate every candidate each iteration.
+    while (static_cast<int>(result.seeds.size()) < options.max_seeds &&
+           !target_met()) {
+      NodeId best = -1;
+      double best_gain = 0.0;
+      for (const NodeId v : candidates) {
+        if (selected[v]) continue;
+        const GroupVector marginal = oracle.MarginalGain(v);
+        ++result.oracle_calls;
+        const double gain = objective.Gain(result.coverage, marginal);
+        if (gain > best_gain || (gain == best_gain && best != -1 && v < best)) {
+          if (gain > 0.0) {
+            best_gain = gain;
+            best = v;
+          }
+        }
+      }
+      if (best < 0) break;
+      const GroupVector realized = oracle.AddSeed(best);
+      selected[best] = 1;
+      for (size_t g = 0; g < result.coverage.size(); ++g) {
+        result.coverage[g] += realized[g];
+      }
+      result.objective_value = objective.Value(result.coverage);
+      result.seeds.push_back(best);
+      result.trace.push_back(GreedyStep{best, best_gain,
+                                        result.objective_value,
+                                        result.coverage});
+    }
+  }
+
+  result.target_reached = target_met();
+  return result;
+}
+
+}  // namespace tcim

@@ -1,0 +1,92 @@
+#include "core/maximin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/objectives.h"
+
+namespace tcim {
+
+namespace {
+
+// Smallest normalized per-group coverage.
+double MinGroupUtility(const GroupVector& coverage,
+                       const GroupAssignment& groups) {
+  double lowest = 1.0;
+  for (size_t g = 0; g < coverage.size(); ++g) {
+    lowest = std::min(lowest,
+                      coverage[g] / groups.GroupSize(static_cast<GroupId>(g)));
+  }
+  return lowest;
+}
+
+}  // namespace
+
+MaximinResult SolveMaximinTcim(GroupCoverageOracle& oracle,
+                               const MaximinOptions& options) {
+  TCIM_CHECK(options.budget >= 0);
+  TCIM_CHECK(options.budget_relaxation >= 1.0)
+      << "budget relaxation must be >= 1";
+  TCIM_CHECK(options.level_tolerance > 0.0);
+  const GroupAssignment& groups = oracle.groups();
+  const int relaxed_budget = static_cast<int>(
+      std::ceil(options.budget * options.budget_relaxation));
+
+  MaximinResult result;
+  result.coverage.assign(groups.num_groups(), 0.0);
+  if (options.budget == 0) return result;
+
+  // Feasibility probe: can a relaxed-budget greedy saturate level c?
+  // Returns the greedy outcome so the best feasible probe can be kept.
+  auto probe = [&](double level) {
+    TruncatedQuotaObjective objective(level, &groups);
+    GreedyOptions greedy;
+    greedy.max_seeds = relaxed_budget;
+    greedy.target_value = objective.SaturationValue();
+    greedy.lazy = options.lazy;
+    greedy.candidates = options.candidates;
+    return RunGreedy(oracle, objective, greedy);
+  };
+
+  // Upper bound for the search: the whole population fraction reachable is
+  // at most 1; start the bisection on [0, 1].
+  double low = 0.0;   // known feasible (empty set saturates c = 0)
+  double high = 1.0;  // assumed infeasible until proven otherwise
+  GreedyResult best;  // greedy outcome at the best feasible level
+  bool have_best = false;
+
+  while (high - low > options.level_tolerance) {
+    const double mid = 0.5 * (low + high);
+    const GreedyResult outcome = probe(mid);
+    ++result.probes;
+    if (outcome.target_reached) {
+      low = mid;
+      best = outcome;
+      have_best = true;
+    } else {
+      high = mid;
+    }
+  }
+
+  if (!have_best) {
+    // Even tiny levels failed (e.g. isolated empty-reach groups): fall back
+    // to the level-0... probe(level_tolerance) may still help; keep greedy
+    // outcome of the last probe as a best effort.
+    best = probe(options.level_tolerance / 2);
+    ++result.probes;
+  }
+
+  // The last probe may not be the best one; leave the oracle holding the
+  // returned set as documented.
+  oracle.Reset();
+  for (const NodeId s : best.seeds) oracle.AddSeed(s);
+
+  result.seeds = best.seeds;
+  result.coverage = best.coverage;
+  result.saturation_level = low;
+  result.min_group_utility = MinGroupUtility(best.coverage, groups);
+  return result;
+}
+
+}  // namespace tcim

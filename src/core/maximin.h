@@ -1,0 +1,57 @@
+// Maximin group fairness: max_S min_i f_τ(S;V_i)/|V_i| subject to |S| ≤ B.
+//
+// This is the fairness notion of Rahmattalabi et al. (NeurIPS'19), which
+// the paper contrasts with its parity notion (§2: "their notion of fairness
+// is maximizing the minimum influence for any group, while we propose
+// parity"). Implemented here so the two notions can be compared empirically
+// (bench_ablation) and as another instance of the paper's "different
+// notions of fairness" future work.
+//
+// min_i is not submodular, so greedy on it has no guarantee. We implement
+// the SATURATE scheme (Krause, McMahan, Guestrin, Gupta, JMLR 2008):
+// binary-search a saturation level c, testing feasibility of
+//
+//   Σ_i min(f_i/|V_i|, c) ≥ k·c
+//
+// with the truncated (submodular) greedy — exactly the machinery of the
+// paper's P6 — under a relaxed budget α·B. With the standard bicriteria
+// guarantee, the returned set has min-group utility ≥ the best achievable
+// at budget B while using at most α·B seeds (α = 1 by default: heuristic
+// but effective; α = ln|V| recovers the theoretical guarantee).
+
+#ifndef TCIM_CORE_MAXIMIN_H_
+#define TCIM_CORE_MAXIMIN_H_
+
+#include <vector>
+
+#include "core/greedy.h"
+#include "sim/oracle_interface.h"
+
+namespace tcim {
+
+struct MaximinOptions {
+  int budget = 30;
+  // Budget relaxation factor α ≥ 1 of SATURATE's bicriteria guarantee.
+  double budget_relaxation = 1.0;
+  // Binary-search resolution on the saturation level c ∈ [0, 1].
+  double level_tolerance = 1e-3;
+  bool lazy = true;
+  const std::vector<NodeId>* candidates = nullptr;
+};
+
+struct MaximinResult {
+  std::vector<NodeId> seeds;
+  GroupVector coverage;        // per-group expected counts of `seeds`
+  double min_group_utility = 0.0;  // min_i f_i / |V_i| (the objective)
+  double saturation_level = 0.0;   // the highest feasible c found
+  int probes = 0;                  // feasibility probes performed
+};
+
+// Runs SATURATE on `oracle`. The oracle is Reset() and left holding the
+// returned seed set.
+MaximinResult SolveMaximinTcim(GroupCoverageOracle& oracle,
+                               const MaximinOptions& options);
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_MAXIMIN_H_

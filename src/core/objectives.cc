@@ -1,0 +1,94 @@
+#include "core/objectives.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace tcim {
+
+double Objective::Gain(const GroupVector& coverage,
+                       const GroupVector& marginal) const {
+  TCIM_DCHECK(coverage.size() == marginal.size());
+  GroupVector after(coverage);
+  for (size_t g = 0; g < after.size(); ++g) after[g] += marginal[g];
+  return Value(after) - Value(coverage);
+}
+
+double TotalInfluenceObjective::Value(const GroupVector& coverage) const {
+  return GroupVectorTotal(coverage);
+}
+
+ConcaveSumObjective::ConcaveSumObjective(ConcaveFunction h,
+                                         const GroupAssignment* groups,
+                                         Options options)
+    : h_(h), groups_(groups), options_(std::move(options)) {
+  TCIM_CHECK(groups != nullptr);
+  if (!options_.weights.empty()) {
+    TCIM_CHECK(static_cast<int>(options_.weights.size()) ==
+               groups->num_groups())
+        << "weights arity must equal the number of groups";
+    for (const double w : options_.weights) {
+      TCIM_CHECK(w >= 0.0) << "group weights must be nonnegative";
+    }
+  }
+}
+
+double ConcaveSumObjective::Value(const GroupVector& coverage) const {
+  TCIM_DCHECK(static_cast<int>(coverage.size()) == groups_->num_groups());
+  double value = 0.0;
+  for (size_t g = 0; g < coverage.size(); ++g) {
+    const double scale = options_.normalize_by_group_size
+                             ? 1.0 / groups_->GroupSize(static_cast<GroupId>(g))
+                             : 1.0;
+    const double weight = options_.weights.empty() ? 1.0 : options_.weights[g];
+    value += weight * h_(scale * coverage[g]);
+  }
+  return value;
+}
+
+std::string ConcaveSumObjective::name() const {
+  return StrFormat("concave_sum(%s)", h_.name().c_str());
+}
+
+TruncatedQuotaObjective::TruncatedQuotaObjective(double quota,
+                                                 const GroupAssignment* groups)
+    : quota_(quota), groups_(groups) {
+  TCIM_CHECK(groups != nullptr);
+  TCIM_CHECK(quota >= 0.0 && quota <= 1.0) << "quota must be in [0,1]";
+}
+
+double TruncatedQuotaObjective::Value(const GroupVector& coverage) const {
+  TCIM_DCHECK(static_cast<int>(coverage.size()) == groups_->num_groups());
+  double value = 0.0;
+  for (size_t g = 0; g < coverage.size(); ++g) {
+    const double normalized =
+        coverage[g] / groups_->GroupSize(static_cast<GroupId>(g));
+    value += std::min(normalized, quota_);
+  }
+  return value;
+}
+
+std::string TruncatedQuotaObjective::name() const {
+  return StrFormat("truncated_quota(Q=%s)", FormatDouble(quota_).c_str());
+}
+
+double TruncatedQuotaObjective::SaturationValue() const {
+  return quota_ * groups_->num_groups();
+}
+
+TotalQuotaObjective::TotalQuotaObjective(double quota, NodeId num_nodes)
+    : quota_(quota), num_nodes_(num_nodes) {
+  TCIM_CHECK(quota >= 0.0 && quota <= 1.0) << "quota must be in [0,1]";
+  TCIM_CHECK(num_nodes > 0);
+}
+
+double TotalQuotaObjective::Value(const GroupVector& coverage) const {
+  return std::min(GroupVectorTotal(coverage) / num_nodes_, quota_);
+}
+
+std::string TotalQuotaObjective::name() const {
+  return StrFormat("total_quota(Q=%s)", FormatDouble(quota_).c_str());
+}
+
+}  // namespace tcim

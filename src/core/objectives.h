@@ -1,0 +1,118 @@
+// Objectives over per-group coverage vectors.
+//
+// The greedy engine (core/greedy.h) works on any monotone submodular set
+// function expressible as g(S) = Objective(f̂_τ(S; V_1), ..., f̂_τ(S; V_k)),
+// where the per-group coverages come from the influence oracle. Because f̂
+// is a nonnegative coverage function per group and each objective below is
+// a nondecreasing concave combination, g is monotone submodular (the Lin &
+// Bilmes composition rule cited in the paper's Theorem-1 proof).
+//
+//   TotalInfluenceObjective   Σ_i f_i              — problems P1 / P2
+//   ConcaveSumObjective       Σ_i λ_i H(s_i f_i)   — problem P4
+//   TruncatedQuotaObjective   Σ_i min(f_i/|V_i|,Q) — problem P6 constraint
+//
+// ConcaveSumObjective supports per-group weights λ_i (the paper's "one
+// could ... increase the weights λ in problem P4 for the under-represented
+// group") and optional normalization s_i = 1/|V_i|.
+
+#ifndef TCIM_CORE_OBJECTIVES_H_
+#define TCIM_CORE_OBJECTIVES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/concave.h"
+#include "graph/groups.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  // g evaluated at a per-group coverage vector.
+  virtual double Value(const GroupVector& coverage) const = 0;
+
+  // g(coverage + marginal) - g(coverage); both vectors are per-group.
+  double Gain(const GroupVector& coverage, const GroupVector& marginal) const;
+
+  virtual std::string name() const = 0;
+};
+
+// Σ_i f_i — the unfair total-influence objective of P1 / P2.
+class TotalInfluenceObjective : public Objective {
+ public:
+  TotalInfluenceObjective() = default;
+  double Value(const GroupVector& coverage) const override;
+  std::string name() const override { return "total_influence"; }
+};
+
+// Options for ConcaveSumObjective (namespace scope so it can be a default
+// argument — nested classes with member initializers cannot).
+struct ConcaveSumOptions {
+  // Per-group multipliers λ_i; empty means all 1.
+  std::vector<double> weights;
+  // Apply H to the group *fraction* f_i/|V_i| instead of the raw count.
+  bool normalize_by_group_size = false;
+};
+
+// Σ_i λ_i H(s_i · f_i) — the FairTCIM-Budget surrogate of P4.
+class ConcaveSumObjective : public Objective {
+ public:
+  using Options = ConcaveSumOptions;
+
+  // `groups` must outlive the objective.
+  ConcaveSumObjective(ConcaveFunction h, const GroupAssignment* groups,
+                      Options options = Options());
+
+  double Value(const GroupVector& coverage) const override;
+  std::string name() const override;
+
+  const ConcaveFunction& concave() const { return h_; }
+
+ private:
+  ConcaveFunction h_;
+  const GroupAssignment* groups_;
+  Options options_;
+};
+
+// Σ_i min(f_i / |V_i|, Q) — the FairTCIM-Cover surrogate constraint of P6.
+// Saturates at k·Q exactly when every group meets the quota.
+class TruncatedQuotaObjective : public Objective {
+ public:
+  TruncatedQuotaObjective(double quota, const GroupAssignment* groups);
+
+  double Value(const GroupVector& coverage) const override;
+  std::string name() const override;
+
+  double quota() const { return quota_; }
+  // The saturation value k·Q.
+  double SaturationValue() const;
+
+ private:
+  double quota_;
+  const GroupAssignment* groups_;
+};
+
+// min(f/|V|, Q) over the TOTAL population — the plain TCIM-Cover (P2)
+// progress measure, so both cover problems share the greedy loop.
+class TotalQuotaObjective : public Objective {
+ public:
+  TotalQuotaObjective(double quota, NodeId num_nodes);
+
+  double Value(const GroupVector& coverage) const override;
+  std::string name() const override;
+
+  double quota() const { return quota_; }
+  double SaturationValue() const { return quota_; }
+
+ private:
+  double quota_;
+  NodeId num_nodes_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_OBJECTIVES_H_

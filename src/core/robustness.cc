@@ -1,0 +1,72 @@
+#include "core/robustness.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+
+RobustnessReport EvaluateUnderSeedDeactivation(
+    const Graph& graph, const GroupAssignment& groups,
+    const std::vector<NodeId>& seeds, const ExperimentConfig& config,
+    const SeedDeactivationOptions& options) {
+  TCIM_CHECK(options.survival_probability >= 0.0 &&
+             options.survival_probability <= 1.0);
+  TCIM_CHECK(options.num_patterns > 0);
+
+  // One oracle reused across patterns (worlds stay fixed; only the seed
+  // subset changes per pattern).
+  InfluenceOracle oracle(&graph, &groups, EvaluationOracleOptions(config));
+
+  Rng rng(options.pattern_seed);
+  GroupVector mean_coverage(groups.num_groups(), 0.0);
+  RobustnessReport report;
+  report.worst_total_fraction = 1.0;
+  report.worst_min_group = 1.0;
+  report.worst_disparity = 0.0;
+
+  for (int pattern = 0; pattern < options.num_patterns; ++pattern) {
+    std::vector<NodeId> survivors;
+    survivors.reserve(seeds.size());
+    for (const NodeId s : seeds) {
+      if (rng.Bernoulli(options.survival_probability)) survivors.push_back(s);
+    }
+    const GroupVector coverage = oracle.EstimateGroupCoverage(survivors);
+    const GroupUtilityReport pattern_report =
+        MakeGroupUtilityReport(coverage, groups);
+    for (size_t g = 0; g < mean_coverage.size(); ++g) {
+      mean_coverage[g] += coverage[g];
+    }
+    report.worst_total_fraction =
+        std::min(report.worst_total_fraction, pattern_report.total_fraction);
+    double min_group = 1.0;
+    for (const double fraction : pattern_report.normalized) {
+      min_group = std::min(min_group, fraction);
+    }
+    report.worst_min_group = std::min(report.worst_min_group, min_group);
+    report.worst_disparity =
+        std::max(report.worst_disparity, pattern_report.disparity);
+  }
+  for (double& c : mean_coverage) c /= options.num_patterns;
+  report.mean = MakeGroupUtilityReport(mean_coverage, groups);
+  return report;
+}
+
+GroupUtilityReport EvaluateWithScaledProbabilities(
+    const Graph& graph, const GroupAssignment& groups,
+    const std::vector<NodeId>& seeds, const ExperimentConfig& config,
+    double scale) {
+  TCIM_CHECK(scale >= 0.0) << "scale must be nonnegative";
+  GraphBuilder builder(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+      builder.AddEdge(v, edge.node,
+                      std::min(1.0, edge.probability * scale));
+    }
+  }
+  const Graph perturbed = builder.Build();
+  return EvaluateSeedSet(perturbed, groups, seeds, config);
+}
+
+}  // namespace tcim

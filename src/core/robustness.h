@@ -1,0 +1,59 @@
+// Robustness analysis of seed sets.
+//
+// Two stress models, motivated by the comparison with Rahmattalabi et al.
+// (§2: "they consider a setting where seeds could be deactivated randomly
+// while we do not have any stochasticity in seed activation"):
+//
+//   * random seed deactivation — each seed survives independently with
+//     probability q; reports the expected utility/disparity over survival
+//     patterns (Monte-Carlo over patterns × influence worlds);
+//   * activation-probability perturbation — re-evaluates the seed set on a
+//     graph whose edge probabilities are scaled by a factor, probing
+//     sensitivity to misestimated pe.
+
+#ifndef TCIM_CORE_ROBUSTNESS_H_
+#define TCIM_CORE_ROBUSTNESS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "core/fairness.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+struct SeedDeactivationOptions {
+  // Per-seed survival probability q.
+  double survival_probability = 0.8;
+  // Survival patterns sampled.
+  int num_patterns = 50;
+  uint64_t pattern_seed = 0xdeadull;
+};
+
+struct RobustnessReport {
+  GroupUtilityReport mean;       // averaged per-group utilities
+  double worst_total_fraction = 0.0;   // worst sampled pattern, total
+  double worst_min_group = 0.0;        // worst sampled pattern, min group
+  double worst_disparity = 0.0;        // largest sampled disparity
+};
+
+// Evaluates `seeds` under random deactivation: for each sampled survival
+// pattern the surviving subset is evaluated on the config's evaluation
+// worlds; reports the mean utilities and worst-case pattern statistics.
+RobustnessReport EvaluateUnderSeedDeactivation(
+    const Graph& graph, const GroupAssignment& groups,
+    const std::vector<NodeId>& seeds, const ExperimentConfig& config,
+    const SeedDeactivationOptions& options);
+
+// Re-evaluates `seeds` with every edge probability multiplied by `scale`
+// (clamped to [0, 1]) — sensitivity to a misestimated pe.
+GroupUtilityReport EvaluateWithScaledProbabilities(
+    const Graph& graph, const GroupAssignment& groups,
+    const std::vector<NodeId>& seeds, const ExperimentConfig& config,
+    double scale);
+
+}  // namespace tcim
+
+#endif  // TCIM_CORE_ROBUSTNESS_H_

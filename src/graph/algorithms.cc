@@ -1,0 +1,162 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace tcim {
+
+std::vector<int> BfsDistances(const Graph& graph, NodeId source,
+                              int max_depth) {
+  return BfsDistances(graph, std::vector<NodeId>{source}, max_depth);
+}
+
+std::vector<int> BfsDistances(const Graph& graph,
+                              const std::vector<NodeId>& sources,
+                              int max_depth) {
+  std::vector<int> dist(graph.num_nodes(), kUnreachable);
+  std::queue<NodeId> frontier;
+  for (const NodeId s : sources) {
+    TCIM_CHECK(s >= 0 && s < graph.num_nodes()) << "source out of range";
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      frontier.push(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    if (max_depth >= 0 && dist[v] >= max_depth) continue;
+    for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+      if (dist[edge.node] == kUnreachable) {
+        dist[edge.node] = dist[v] + 1;
+        frontier.push(edge.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> WeaklyConnectedComponents(const Graph& graph,
+                                           int* num_components) {
+  std::vector<int> component(graph.num_nodes(), -1);
+  int next_component = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    if (component[start] != -1) continue;
+    component[start] = next_component;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+        if (component[edge.node] == -1) {
+          component[edge.node] = next_component;
+          stack.push_back(edge.node);
+        }
+      }
+      for (const AdjacentEdge& edge : graph.InEdges(v)) {
+        if (component[edge.node] == -1) {
+          component[edge.node] = next_component;
+          stack.push_back(edge.node);
+        }
+      }
+    }
+    ++next_component;
+  }
+  if (num_components != nullptr) *num_components = next_component;
+  return component;
+}
+
+std::vector<int> CoreNumbers(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  // Undirected degree = number of distinct neighbors in either direction.
+  // For graphs built from undirected edges, out and in views coincide; we
+  // use out+in and rely on the peeling being robust to double counting of
+  // reciprocal edges by treating each directed edge as half an undirected
+  // one is incorrect — instead collect distinct neighbors.
+  std::vector<std::vector<NodeId>> adjacency(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const AdjacentEdge& e : graph.OutEdges(v)) {
+      adjacency[v].push_back(e.node);
+    }
+    for (const AdjacentEdge& e : graph.InEdges(v)) {
+      adjacency[v].push_back(e.node);
+    }
+    std::sort(adjacency[v].begin(), adjacency[v].end());
+    adjacency[v].erase(
+        std::unique(adjacency[v].begin(), adjacency[v].end()),
+        adjacency[v].end());
+  }
+
+  // Matula–Beck bucket peeling in O(n + m).
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<int>(adjacency[v].size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<int> bucket_start(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) bucket_start[degree[v] + 1]++;
+  for (int d = 1; d <= max_degree + 1; ++d) bucket_start[d] += bucket_start[d - 1];
+  std::vector<NodeId> order(n);
+  std::vector<int> position(n);
+  {
+    std::vector<int> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+  std::vector<int> core(degree);
+  for (int idx = 0; idx < n; ++idx) {
+    const NodeId v = order[idx];
+    for (const NodeId w : adjacency[v]) {
+      if (core[w] > core[v]) {
+        // Move w one bucket down: swap with the first element of its bucket.
+        const int dw = core[w];
+        const int first_pos = bucket_start[dw];
+        const NodeId first_node = order[first_pos];
+        if (first_node != w) {
+          std::swap(order[position[w]], order[first_pos]);
+          std::swap(position[w], position[first_node]);
+        }
+        bucket_start[dw]++;
+        core[w]--;
+      }
+    }
+  }
+  return core;
+}
+
+DegreeStats ComputeOutDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return stats;
+  stats.min = graph.OutDegree(0);
+  stats.max = graph.OutDegree(0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const int d = graph.OutDegree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+  }
+  stats.mean = sum / n;
+  stats.variance = sum_sq / n - stats.mean * stats.mean;
+  return stats;
+}
+
+int64_t ReachableCount(const Graph& graph, NodeId source, int max_depth) {
+  const std::vector<int> dist = BfsDistances(graph, source, max_depth);
+  int64_t count = 0;
+  for (const int d : dist) {
+    if (d != kUnreachable) ++count;
+  }
+  return count;
+}
+
+}  // namespace tcim

@@ -1,0 +1,51 @@
+// Structural graph algorithms used for analysis, tests, and baselines.
+
+#ifndef TCIM_GRAPH_ALGORITHMS_H_
+#define TCIM_GRAPH_ALGORITHMS_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcim {
+
+// Marker for "unreachable" in distance vectors.
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+// Hop distances from `source` following out-edges (edge probabilities are
+// ignored; this is the deterministic structure). `max_depth` < 0 means
+// unbounded. Unreached nodes get kUnreachable.
+std::vector<int> BfsDistances(const Graph& graph, NodeId source,
+                              int max_depth = -1);
+
+// Multi-source variant: distance to the nearest of `sources`.
+std::vector<int> BfsDistances(const Graph& graph,
+                              const std::vector<NodeId>& sources,
+                              int max_depth = -1);
+
+// Weakly connected components (edge direction ignored). Returns component id
+// per node, dense in [0, num_components).
+std::vector<int> WeaklyConnectedComponents(const Graph& graph,
+                                           int* num_components);
+
+// k-core decomposition on the undirected view (degree = out-degree of the
+// symmetrized graph). Returns core number per node.
+std::vector<int> CoreNumbers(const Graph& graph);
+
+// Degree distribution summary.
+struct DegreeStats {
+  double mean = 0.0;
+  int min = 0;
+  int max = 0;
+  double variance = 0.0;
+};
+DegreeStats ComputeOutDegreeStats(const Graph& graph);
+
+// Number of nodes reachable from `source` within `max_depth` hops
+// (including the source). max_depth < 0 means unbounded.
+int64_t ReachableCount(const Graph& graph, NodeId source, int max_depth = -1);
+
+}  // namespace tcim
+
+#endif  // TCIM_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,103 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace tcim {
+
+std::vector<double> DegreeCentrality(const Graph& graph) {
+  std::vector<double> scores(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    scores[v] = graph.OutDegree(v);
+  }
+  return scores;
+}
+
+std::vector<double> PageRank(const Graph& graph, double damping,
+                             int max_iters, double tolerance) {
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return {};
+  TCIM_CHECK(damping > 0.0 && damping < 1.0) << "damping must be in (0,1)";
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double dangling_mass = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling_mass += rank[v];
+    }
+    const double base = (1.0 - damping) / n + damping * dangling_mass / n;
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId v = 0; v < n; ++v) {
+      const int degree = graph.OutDegree(v);
+      if (degree == 0) continue;
+      const double share = damping * rank[v] / degree;
+      for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+        next[edge.node] += share;
+      }
+    }
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta < tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<double> SampledHarmonicCloseness(const Graph& graph,
+                                             int num_samples, Rng& rng) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0 || num_samples <= 0) return scores;
+  const int samples = num_samples;  // pivots are drawn with replacement
+  for (int s = 0; s < samples; ++s) {
+    const NodeId pivot = static_cast<NodeId>(rng.NextIndex(n));
+    // Reverse BFS from the pivot: dist over in-edges gives, for every node
+    // v, the forward hop distance v -> pivot, so a single traversal credits
+    // every node's ability to reach the sampled pivot.
+    std::vector<int> dist(n, kUnreachable);
+    dist[pivot] = 0;
+    size_t head = 0;
+    std::vector<NodeId> queue{pivot};
+    while (head < queue.size()) {
+      const NodeId v = queue[head++];
+      for (const AdjacentEdge& edge : graph.InEdges(v)) {
+        if (dist[edge.node] == kUnreachable) {
+          dist[edge.node] = dist[v] + 1;
+          queue.push_back(edge.node);
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != pivot && dist[v] != kUnreachable) {
+        scores[v] += 1.0 / dist[v];
+      }
+    }
+  }
+  // Pivots are uniform over ALL n nodes (a pivot equal to v contributes 0),
+  // so the unbiased scale is n / samples:
+  //   E[score(v)] = (n / S) · S · (1/n) · Σ_{p≠v} 1/dist(v, p).
+  const double scale = static_cast<double>(n) / samples;
+  for (double& s : scores) s *= scale;
+  return scores;
+}
+
+std::vector<NodeId> TopKByScore(const std::vector<double>& scores, int k) {
+  TCIM_CHECK(k >= 0);
+  const NodeId n = static_cast<NodeId>(scores.size());
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const int take = std::min<int>(k, n);
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace tcim

@@ -1,0 +1,35 @@
+// Node centrality measures. Used by the baseline seeders (core/baselines.h)
+// and by the analyses of why standard TCIM favors central majority nodes
+// (paper §4.2: "the solution ... tends to favor nodes which are more central
+// and have high-connectivity").
+
+#ifndef TCIM_GRAPH_CENTRALITY_H_
+#define TCIM_GRAPH_CENTRALITY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace tcim {
+
+// Out-degree per node (as doubles so all centralities share a type).
+std::vector<double> DegreeCentrality(const Graph& graph);
+
+// PageRank via power iteration with uniform teleportation.
+// Converges when the L1 change is below `tolerance` or after `max_iters`.
+std::vector<double> PageRank(const Graph& graph, double damping = 0.85,
+                             int max_iters = 100, double tolerance = 1e-10);
+
+// Harmonic closeness centrality estimated by BFS from `num_samples` random
+// pivots: c(v) ≈ scaled mean of 1/dist(pivot, v) over pivots reaching v.
+// Exact computation is O(n·m); sampling keeps laptop-scale graphs fast.
+std::vector<double> SampledHarmonicCloseness(const Graph& graph,
+                                             int num_samples, Rng& rng);
+
+// Indices of the `k` largest scores, ties broken by smaller node id.
+std::vector<NodeId> TopKByScore(const std::vector<double>& scores, int k);
+
+}  // namespace tcim
+
+#endif  // TCIM_GRAPH_CENTRALITY_H_

@@ -1,0 +1,268 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace tcim {
+
+namespace {
+
+// Packs an unordered node pair into a 64-bit key for dedup sets.
+inline uint64_t PairKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+// Geometric skipping: iterate pairs hit by independent Bernoulli(p) trials
+// without testing every pair. Calls visit(index) for each selected index in
+// [0, total). Standard G(n,p) speedup (Batagelj–Brandes).
+template <typename Visitor>
+void SampleBernoulliIndices(int64_t total, double p, Rng& rng,
+                            Visitor&& visit) {
+  if (p <= 0.0 || total <= 0) return;
+  if (p >= 1.0) {
+    for (int64_t i = 0; i < total; ++i) visit(i);
+    return;
+  }
+  const double log_q = std::log1p(-p);
+  int64_t index = -1;
+  while (true) {
+    double u = rng.NextDouble();
+    while (u <= 0.0) u = rng.NextDouble();
+    const double skip = std::floor(std::log(u) / log_q);
+    if (skip > static_cast<double>(total)) break;  // guards overflow
+    index += 1 + static_cast<int64_t>(skip);
+    if (index >= total) break;
+    visit(index);
+  }
+}
+
+// Dense group-id vector from sizes: [0,0,...,1,1,...].
+std::vector<GroupId> GroupIdsFromSizes(const std::vector<NodeId>& sizes) {
+  std::vector<GroupId> ids;
+  for (size_t g = 0; g < sizes.size(); ++g) {
+    TCIM_CHECK(sizes[g] > 0) << "group " << g << " must be non-empty";
+    ids.insert(ids.end(), sizes[g], static_cast<GroupId>(g));
+  }
+  return ids;
+}
+
+}  // namespace
+
+GroupedGraph GenerateSbm(const SbmParams& params, Rng& rng) {
+  TCIM_CHECK(params.num_nodes >= 2) << "need at least two nodes";
+  TCIM_CHECK(params.majority_fraction > 0.0 && params.majority_fraction < 1.0)
+      << "majority fraction must be in (0,1)";
+  const NodeId n1 = static_cast<NodeId>(
+      std::lround(params.majority_fraction * params.num_nodes));
+  const NodeId n2 = params.num_nodes - n1;
+  TCIM_CHECK(n1 > 0 && n2 > 0) << "both groups must be non-empty";
+  return GenerateBlockModel(
+      {n1, n2},
+      {{params.p_hom, params.p_het}, {params.p_het, params.p_hom}},
+      params.activation_probability, rng);
+}
+
+GroupedGraph GenerateBlockModel(
+    const std::vector<NodeId>& group_sizes,
+    const std::vector<std::vector<double>>& block_probability,
+    double activation_probability, Rng& rng) {
+  const int k = static_cast<int>(group_sizes.size());
+  TCIM_CHECK(k >= 1);
+  TCIM_CHECK(static_cast<int>(block_probability.size()) == k)
+      << "block probability matrix must be k x k";
+  for (const auto& row : block_probability) {
+    TCIM_CHECK(static_cast<int>(row.size()) == k);
+  }
+
+  NodeId n = 0;
+  std::vector<NodeId> group_start(k);
+  for (int g = 0; g < k; ++g) {
+    group_start[g] = n;
+    n += group_sizes[g];
+  }
+  GraphBuilder builder(n);
+
+  for (int g = 0; g < k; ++g) {
+    // Within-block: unordered pairs inside group g.
+    const int64_t ng = group_sizes[g];
+    const int64_t within_pairs = ng * (ng - 1) / 2;
+    SampleBernoulliIndices(
+        within_pairs, block_probability[g][g], rng, [&](int64_t index) {
+          // Unrank pair index -> (i, j), i < j, within the group.
+          // Row i contributes (ng - 1 - i) pairs.
+          int64_t i = 0;
+          int64_t remaining = index;
+          int64_t row_len = ng - 1;
+          while (remaining >= row_len) {
+            remaining -= row_len;
+            --row_len;
+            ++i;
+          }
+          const int64_t j = i + 1 + remaining;
+          builder.AddUndirectedEdge(group_start[g] + static_cast<NodeId>(i),
+                                    group_start[g] + static_cast<NodeId>(j),
+                                    activation_probability);
+        });
+    // Across-block: full bipartite index space for h > g.
+    for (int h = g + 1; h < k; ++h) {
+      TCIM_CHECK(std::abs(block_probability[g][h] - block_probability[h][g]) <
+                 1e-12)
+          << "block probability matrix must be symmetric";
+      const int64_t cross_pairs = ng * static_cast<int64_t>(group_sizes[h]);
+      SampleBernoulliIndices(
+          cross_pairs, block_probability[g][h], rng, [&](int64_t index) {
+            const NodeId i = static_cast<NodeId>(index / group_sizes[h]);
+            const NodeId j = static_cast<NodeId>(index % group_sizes[h]);
+            builder.AddUndirectedEdge(group_start[g] + i, group_start[h] + j,
+                                      activation_probability);
+          });
+    }
+  }
+
+  return GroupedGraph{builder.Build(),
+                      GroupAssignment(GroupIdsFromSizes(group_sizes))};
+}
+
+GroupedGraph GenerateExactBlockGraph(
+    const std::vector<NodeId>& group_sizes,
+    const std::vector<std::vector<int64_t>>& block_edges,
+    double activation_probability, Rng& rng) {
+  const int k = static_cast<int>(group_sizes.size());
+  TCIM_CHECK(k >= 1);
+  TCIM_CHECK(static_cast<int>(block_edges.size()) == k);
+  for (const auto& row : block_edges) {
+    TCIM_CHECK(static_cast<int>(row.size()) == k);
+  }
+
+  NodeId n = 0;
+  std::vector<NodeId> group_start(k);
+  for (int g = 0; g < k; ++g) {
+    group_start[g] = n;
+    n += group_sizes[g];
+  }
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> used;
+
+  auto sample_block = [&](int g, int h, int64_t count) {
+    const int64_t capacity =
+        (g == h) ? static_cast<int64_t>(group_sizes[g]) * (group_sizes[g] - 1) / 2
+                 : static_cast<int64_t>(group_sizes[g]) * group_sizes[h];
+    TCIM_CHECK(count >= 0 && count <= capacity)
+        << "block (" << g << "," << h << ") cannot hold " << count
+        << " distinct undirected edges (capacity " << capacity << ")";
+    // Rejection sampling of distinct pairs. All surrogate blocks are sparse
+    // relative to capacity (checked above), so rejection terminates fast;
+    // the loop guard catches pathological densities.
+    int64_t placed = 0;
+    int64_t attempts = 0;
+    const int64_t max_attempts = 50 * count + 1000;
+    while (placed < count) {
+      TCIM_CHECK(++attempts <= max_attempts)
+          << "exact block sampler stalled; block too dense for rejection "
+          << "sampling (g=" << g << " h=" << h << " count=" << count << ")";
+      NodeId a = group_start[g] +
+                 static_cast<NodeId>(rng.NextIndex(group_sizes[g]));
+      NodeId b = group_start[h] +
+                 static_cast<NodeId>(rng.NextIndex(group_sizes[h]));
+      if (a == b) continue;
+      const uint64_t key = PairKey(a, b);
+      if (!used.insert(key).second) continue;
+      builder.AddUndirectedEdge(a, b, activation_probability);
+      ++placed;
+    }
+  };
+
+  for (int g = 0; g < k; ++g) {
+    sample_block(g, g, block_edges[g][g]);
+    for (int h = g + 1; h < k; ++h) {
+      TCIM_CHECK(block_edges[g][h] == block_edges[h][g])
+          << "block edge-count matrix must be symmetric";
+      sample_block(g, h, block_edges[g][h]);
+    }
+  }
+
+  return GroupedGraph{builder.Build(),
+                      GroupAssignment(GroupIdsFromSizes(group_sizes))};
+}
+
+Graph GenerateErdosRenyi(NodeId num_nodes, int64_t num_undirected_edges,
+                         double activation_probability, Rng& rng) {
+  TCIM_CHECK(num_nodes >= 2);
+  const int64_t capacity =
+      static_cast<int64_t>(num_nodes) * (num_nodes - 1) / 2;
+  TCIM_CHECK(num_undirected_edges >= 0 && num_undirected_edges <= capacity)
+      << "too many edges requested";
+  GraphBuilder builder(num_nodes);
+  std::unordered_set<uint64_t> used;
+  int64_t placed = 0;
+  while (placed < num_undirected_edges) {
+    const NodeId a = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    const NodeId b = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    if (a == b) continue;
+    if (!used.insert(PairKey(a, b)).second) continue;
+    builder.AddUndirectedEdge(a, b, activation_probability);
+    ++placed;
+  }
+  return builder.Build();
+}
+
+Graph GenerateBarabasiAlbert(NodeId num_nodes, int edges_per_node,
+                             double activation_probability, Rng& rng) {
+  TCIM_CHECK(edges_per_node >= 1);
+  TCIM_CHECK(num_nodes > edges_per_node)
+      << "need more nodes than edges per node";
+  GraphBuilder builder(num_nodes);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<NodeId> endpoint_pool;
+  // Seed clique over the first (edges_per_node + 1) nodes.
+  for (NodeId u = 0; u <= edges_per_node; ++u) {
+    for (NodeId v = u + 1; v <= edges_per_node; ++v) {
+      builder.AddUndirectedEdge(u, v, activation_probability);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (NodeId v = edges_per_node + 1; v < num_nodes; ++v) {
+    std::unordered_set<NodeId> chosen;
+    while (static_cast<int>(chosen.size()) < edges_per_node) {
+      const NodeId target =
+          endpoint_pool[rng.NextIndex(endpoint_pool.size())];
+      chosen.insert(target);
+    }
+    for (const NodeId target : chosen) {
+      builder.AddUndirectedEdge(v, target, activation_probability);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+Graph WithWeightedCascadeProbabilities(const Graph& graph) {
+  GraphBuilder builder(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+      const int in_degree = graph.InDegree(edge.node);
+      builder.AddEdge(v, edge.node, in_degree > 0 ? 1.0 / in_degree : 0.0);
+    }
+  }
+  return builder.Build();
+}
+
+Graph WithUniformProbability(const Graph& graph, double pe) {
+  GraphBuilder builder(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+      builder.AddEdge(v, edge.node, pe);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace tcim

@@ -1,0 +1,81 @@
+// Random graph generators.
+//
+// The paper's synthetic experiments (§6.1) use a two-group stochastic block
+// model: n nodes, fraction g in group V1, within-group edge probability
+// `p_hom` (homophily) and across-group probability `p_het` (heterophily),
+// all edges undirected with a constant activation probability p_e.
+//
+// The dataset surrogates (graph/datasets.h) additionally need a generator
+// that hits *exact* per-block undirected edge counts, so the surrogate
+// matches the block statistics the paper reports for the real datasets.
+//
+// All generators are deterministic given the Rng seed.
+
+#ifndef TCIM_GRAPH_GENERATORS_H_
+#define TCIM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+// A generated graph together with its group structure.
+struct GroupedGraph {
+  Graph graph;
+  GroupAssignment groups;
+};
+
+// Parameters of the paper's two-group stochastic block model (§6.1 defaults
+// in braces): n {500}, majority fraction g {0.7}, p_hom {0.025},
+// p_het {0.001}, activation probability pe {0.05}.
+struct SbmParams {
+  NodeId num_nodes = 500;
+  double majority_fraction = 0.7;
+  double p_hom = 0.025;
+  double p_het = 0.001;
+  double activation_probability = 0.05;
+};
+
+// Samples the two-group SBM: every unordered pair is connected with p_hom
+// (same group) or p_het (different groups); each undirected edge becomes two
+// directed edges carrying `activation_probability`. Group 0 is the majority.
+GroupedGraph GenerateSbm(const SbmParams& params, Rng& rng);
+
+// General k-group SBM with an arbitrary symmetric probability matrix
+// `block_probability[i][j]` and explicit group sizes.
+GroupedGraph GenerateBlockModel(const std::vector<NodeId>& group_sizes,
+                                const std::vector<std::vector<double>>& block_probability,
+                                double activation_probability, Rng& rng);
+
+// Samples a graph with *exact* per-block undirected edge counts:
+// `block_edges[i][j]` (symmetric; diagonal = within-group count) distinct
+// undirected edges are drawn uniformly at random inside each block.
+// Counts must fit in the block (checked). Used for dataset surrogates.
+GroupedGraph GenerateExactBlockGraph(const std::vector<NodeId>& group_sizes,
+                                     const std::vector<std::vector<int64_t>>& block_edges,
+                                     double activation_probability, Rng& rng);
+
+// Erdős–Rényi G(n, m): exactly m distinct undirected edges.
+Graph GenerateErdosRenyi(NodeId num_nodes, int64_t num_undirected_edges,
+                         double activation_probability, Rng& rng);
+
+// Barabási–Albert preferential attachment: each new node attaches to
+// `edges_per_node` distinct existing nodes with probability proportional to
+// degree. Produces heavy-tailed degree distributions (used in ablations).
+Graph GenerateBarabasiAlbert(NodeId num_nodes, int edges_per_node,
+                             double activation_probability, Rng& rng);
+
+// Assigns every edge the "weighted cascade" probability 1 / in_degree(target)
+// (Kempe et al. 2003), returning a new graph with identical structure.
+Graph WithWeightedCascadeProbabilities(const Graph& graph);
+
+// Returns a copy of `graph` with every edge probability replaced by `pe`.
+Graph WithUniformProbability(const Graph& graph, double pe);
+
+}  // namespace tcim
+
+#endif  // TCIM_GRAPH_GENERATORS_H_

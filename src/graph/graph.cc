@@ -1,0 +1,93 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace tcim {
+
+std::string Graph::DebugString() const {
+  return StrFormat("Graph(n=%d, directed_edges=%lld, avg_out_degree=%.3f)",
+                   num_nodes_, static_cast<long long>(num_edges()),
+                   AverageOutDegree());
+}
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {
+  TCIM_CHECK(num_nodes >= 0) << "negative node count";
+}
+
+GraphBuilder& GraphBuilder::AddEdge(NodeId u, NodeId v, double probability) {
+  TCIM_CHECK(u >= 0 && u < num_nodes_) << "source out of range: " << u;
+  TCIM_CHECK(v >= 0 && v < num_nodes_) << "target out of range: " << v;
+  TCIM_CHECK(u != v) << "self-loops are not supported (node " << u << ")";
+  TCIM_CHECK(probability >= 0.0 && probability <= 1.0)
+      << "edge probability must be in [0,1], got " << probability;
+  sources_.push_back(u);
+  targets_.push_back(v);
+  probabilities_.push_back(static_cast<float>(probability));
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v,
+                                              double probability) {
+  AddEdge(u, v, probability);
+  AddEdge(v, u, probability);
+  return *this;
+}
+
+bool GraphBuilder::HasEdge(NodeId u, NodeId v) const {
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i] == u && targets_[i] == v) return true;
+  }
+  return false;
+}
+
+Graph GraphBuilder::Build() const {
+  Graph graph;
+  graph.num_nodes_ = num_nodes_;
+  const EdgeId m = static_cast<EdgeId>(sources_.size());
+
+  // Counting sort of edges by source gives the out-CSR; the canonical
+  // EdgeId of an edge is its final position in out_edges_.
+  graph.out_offsets_.assign(num_nodes_ + 1, 0);
+  for (EdgeId i = 0; i < m; ++i) graph.out_offsets_[sources_[i] + 1]++;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    graph.out_offsets_[v + 1] += graph.out_offsets_[v];
+  }
+  graph.out_edges_.resize(m);
+  graph.edge_sources_.resize(m);
+  {
+    std::vector<EdgeId> cursor(graph.out_offsets_.begin(),
+                               graph.out_offsets_.end() - 1);
+    for (EdgeId i = 0; i < m; ++i) {
+      const EdgeId slot = cursor[sources_[i]]++;
+      graph.out_edges_[slot] =
+          AdjacentEdge{targets_[i], probabilities_[i], slot};
+      graph.edge_sources_[slot] = sources_[i];
+    }
+  }
+
+  // Transpose with the canonical ids carried over.
+  graph.in_offsets_.assign(num_nodes_ + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    graph.in_offsets_[graph.out_edges_[e].node + 1]++;
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    graph.in_offsets_[v + 1] += graph.in_offsets_[v];
+  }
+  graph.in_edges_.resize(m);
+  {
+    std::vector<EdgeId> cursor(graph.in_offsets_.begin(),
+                               graph.in_offsets_.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+      const NodeId target = graph.out_edges_[e].node;
+      const EdgeId slot = cursor[target]++;
+      graph.in_edges_[slot] = AdjacentEdge{graph.edge_sources_[e],
+                                           graph.out_edges_[e].probability, e};
+    }
+  }
+  return graph;
+}
+
+}  // namespace tcim

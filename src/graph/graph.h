@@ -1,0 +1,142 @@
+// Immutable directed graph in CSR form with per-edge influence probabilities.
+//
+// This is the substrate every other module builds on:
+//   * nodes are dense ids [0, num_nodes)
+//   * each directed edge carries an activation probability p_e ∈ [0, 1]
+//     (Independent Cascade) and has a stable EdgeId equal to its position in
+//     the out-CSR arrays
+//   * a transpose (in-edge) CSR is built alongside, with each in-edge
+//     recording the *same* EdgeId as its out-edge twin — forward cascade
+//     simulation and reverse-reachable sampling must flip the same coin for
+//     the same edge (see sim/live_edge.h)
+//
+// Undirected social networks are represented as two directed edges with
+// independent coins, exactly as in the paper ("An undirected link between two
+// nodes can be represented by simply considering two directed edges").
+
+#ifndef TCIM_GRAPH_GRAPH_H_
+#define TCIM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tcim {
+
+using NodeId = int32_t;
+using EdgeId = int64_t;
+
+// One outgoing (or incoming) edge as seen from a node's adjacency list.
+struct AdjacentEdge {
+  NodeId node = 0;     // the other endpoint
+  float probability = 0.0f;
+  EdgeId edge_id = 0;  // canonical id shared between out- and in-views
+};
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  // An empty graph; populate via GraphBuilder.
+  Graph() = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(out_edges_.size()); }
+
+  int OutDegree(NodeId v) const {
+    TCIM_DCHECK(v >= 0 && v < num_nodes_);
+    return static_cast<int>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  int InDegree(NodeId v) const {
+    TCIM_DCHECK(v >= 0 && v < num_nodes_);
+    return static_cast<int>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  // Out-edges of v: each entry's `node` is the edge target.
+  std::span<const AdjacentEdge> OutEdges(NodeId v) const {
+    TCIM_DCHECK(v >= 0 && v < num_nodes_);
+    return {out_edges_.data() + out_offsets_[v],
+            static_cast<size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+  }
+
+  // In-edges of v: each entry's `node` is the edge *source*; `edge_id` is the
+  // canonical id of the original directed edge (source -> v).
+  std::span<const AdjacentEdge> InEdges(NodeId v) const {
+    TCIM_DCHECK(v >= 0 && v < num_nodes_);
+    return {in_edges_.data() + in_offsets_[v],
+            static_cast<size_t>(in_offsets_[v + 1] - in_offsets_[v])};
+  }
+
+  // Endpoints/probability of a canonical edge id.
+  NodeId EdgeSource(EdgeId e) const {
+    TCIM_DCHECK(e >= 0 && e < num_edges());
+    return edge_sources_[e];
+  }
+  NodeId EdgeTarget(EdgeId e) const {
+    TCIM_DCHECK(e >= 0 && e < num_edges());
+    return out_edges_[e].node;
+  }
+  double EdgeProbability(EdgeId e) const {
+    TCIM_DCHECK(e >= 0 && e < num_edges());
+    return out_edges_[e].probability;
+  }
+
+  double AverageOutDegree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_nodes_;
+  }
+
+  // "n=500 m=3606 (directed edges)" style summary for logs.
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  // Out-CSR. Edge e lives at out_edges_[e]; out_offsets_ has n+1 entries.
+  std::vector<EdgeId> out_offsets_{0};
+  std::vector<AdjacentEdge> out_edges_;
+  std::vector<NodeId> edge_sources_;  // parallel to out_edges_
+  // In-CSR (transpose view).
+  std::vector<EdgeId> in_offsets_{0};
+  std::vector<AdjacentEdge> in_edges_;
+};
+
+// Accumulates edges, then finalizes into a CSR Graph. Parallel edges are
+// allowed (they model independent influence attempts); self-loops are
+// rejected because they never affect cascades and break degree statistics.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(sources_.size()); }
+
+  // Adds the directed edge u -> v with activation probability p ∈ [0, 1].
+  GraphBuilder& AddEdge(NodeId u, NodeId v, double probability);
+
+  // Adds u -> v and v -> u, each with its own independent coin.
+  GraphBuilder& AddUndirectedEdge(NodeId u, NodeId v, double probability);
+
+  // True if some directed edge u -> v was added (linear scan; intended for
+  // generators that need to avoid duplicate undirected edges use their own
+  // hash sets — this is for tests and small graphs).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // Finalizes the CSR arrays. The builder remains usable (Build copies).
+  Graph Build() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> targets_;
+  std::vector<float> probabilities_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_GRAPH_GRAPH_H_

@@ -1,0 +1,81 @@
+#include "graph/groups.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace tcim {
+
+GroupAssignment::GroupAssignment(std::vector<GroupId> group_of)
+    : group_of_(std::move(group_of)) {
+  GroupId max_group = -1;
+  for (const GroupId g : group_of_) {
+    TCIM_CHECK(g >= 0) << "negative group id";
+    max_group = std::max(max_group, g);
+  }
+  num_groups_ = max_group + 1;
+  TCIM_CHECK(num_groups_ >= 1) << "a group assignment needs >= 1 group";
+  group_sizes_.assign(num_groups_, 0);
+  for (const GroupId g : group_of_) group_sizes_[g]++;
+  for (GroupId g = 0; g < num_groups_; ++g) {
+    TCIM_CHECK(group_sizes_[g] > 0)
+        << "group ids must be dense; group " << g << " is empty";
+  }
+}
+
+GroupAssignment GroupAssignment::SingleGroup(NodeId num_nodes) {
+  return GroupAssignment(std::vector<GroupId>(num_nodes, 0));
+}
+
+std::vector<NodeId> GroupAssignment::GroupMembers(GroupId g) const {
+  TCIM_CHECK(g >= 0 && g < num_groups_);
+  std::vector<NodeId> members;
+  members.reserve(group_sizes_[g]);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (group_of_[v] == g) members.push_back(v);
+  }
+  return members;
+}
+
+double GroupAssignment::GroupFraction(GroupId g) const {
+  TCIM_CHECK(g >= 0 && g < num_groups_);
+  return num_nodes() == 0
+             ? 0.0
+             : static_cast<double>(group_sizes_[g]) / num_nodes();
+}
+
+std::string GroupAssignment::DebugString() const {
+  std::string out = StrFormat("GroupAssignment(k=%d sizes=[", num_groups_);
+  for (GroupId g = 0; g < num_groups_; ++g) {
+    if (g > 0) out += ',';
+    out += StrFormat("%d", group_sizes_[g]);
+  }
+  out += "])";
+  return out;
+}
+
+GroupEdgeStats ComputeGroupEdgeStats(const Graph& graph,
+                                     const GroupAssignment& groups) {
+  TCIM_CHECK(graph.num_nodes() == groups.num_nodes())
+      << "graph/groups node count mismatch";
+  const int k = groups.num_groups();
+  GroupEdgeStats stats;
+  stats.within.assign(k, 0);
+  stats.across.assign(k, std::vector<int64_t>(k, 0));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const GroupId gv = groups.GroupOf(v);
+    for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+      const GroupId gw = groups.GroupOf(edge.node);
+      if (gv == gw) {
+        stats.within[gv]++;
+        stats.total_within++;
+      } else {
+        stats.across[gv][gw]++;
+        stats.total_across++;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace tcim

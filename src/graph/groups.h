@@ -1,0 +1,74 @@
+// Socially salient groups: a partition of the node set into k disjoint
+// groups V_1..V_k (paper §4.1). Group ids are dense [0, k).
+
+#ifndef TCIM_GRAPH_GROUPS_H_
+#define TCIM_GRAPH_GROUPS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcim {
+
+using GroupId = int32_t;
+
+class GroupAssignment {
+ public:
+  GroupAssignment() = default;
+
+  // `group_of[v]` is the group of node v; values must be a dense range
+  // [0, k) for some k >= 1 (checked).
+  explicit GroupAssignment(std::vector<GroupId> group_of);
+
+  // All nodes in one group (k = 1).
+  static GroupAssignment SingleGroup(NodeId num_nodes);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(group_of_.size()); }
+  int num_groups() const { return num_groups_; }
+
+  GroupId GroupOf(NodeId v) const {
+    TCIM_DCHECK(v >= 0 && v < num_nodes());
+    return group_of_[v];
+  }
+
+  // |V_i|.
+  NodeId GroupSize(GroupId g) const {
+    TCIM_DCHECK(g >= 0 && g < num_groups_);
+    return group_sizes_[g];
+  }
+
+  const std::vector<NodeId>& group_sizes() const { return group_sizes_; }
+
+  // Members of group g, in increasing node order.
+  std::vector<NodeId> GroupMembers(GroupId g) const;
+
+  // Fraction |V_i| / |V|.
+  double GroupFraction(GroupId g) const;
+
+  // "k=2 sizes=[350,150]".
+  std::string DebugString() const;
+
+ private:
+  std::vector<GroupId> group_of_;
+  std::vector<NodeId> group_sizes_;
+  int num_groups_ = 0;
+};
+
+// Statistics of how edges fall within/across groups — used to validate the
+// generated surrogates against the paper's reported block edge counts.
+struct GroupEdgeStats {
+  // within[g]: directed edges with both endpoints in group g.
+  std::vector<int64_t> within;
+  // across[g][h]: directed edges g -> h for g != h (k x k, diagonal zero).
+  std::vector<std::vector<int64_t>> across;
+  int64_t total_within = 0;
+  int64_t total_across = 0;
+};
+
+GroupEdgeStats ComputeGroupEdgeStats(const Graph& graph,
+                                     const GroupAssignment& groups);
+
+}  // namespace tcim
+
+#endif  // TCIM_GRAPH_GROUPS_H_

@@ -1,0 +1,229 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace tcim {
+
+namespace {
+
+struct ParsedEdge {
+  NodeId source;
+  NodeId target;
+  double probability;
+};
+
+// Splits `text` into lines, skipping blank lines and '#' comments, and calls
+// handler(line_number, fields). Returns the first error, if any.
+Status ForEachDataLine(
+    const std::string& text,
+    const std::function<Status(int, const std::vector<std::string>&)>& handler) {
+  int line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    ++line_number;
+    const std::string_view line =
+        StripWhitespace(std::string_view(text).substr(start, end - start));
+    start = end + 1;
+    if (line.empty() || line[0] == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    TCIM_RETURN_IF_ERROR(handler(line_number, SplitWhitespace(line)));
+    if (end == text.size()) break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options) {
+  std::vector<ParsedEdge> edges;
+  NodeId max_node = -1;
+  Status status = ForEachDataLine(
+      text, [&](int line, const std::vector<std::string>& fields) -> Status {
+        if (fields.size() != 2 && fields.size() != 3) {
+          return InvalidArgumentError(
+              StrFormat("line %d: expected 2 or 3 fields, got %zu", line,
+                        fields.size()));
+        }
+        int64_t source, target;
+        if (!ParseInt64(fields[0], &source) || !ParseInt64(fields[1], &target) ||
+            source < 0 || target < 0) {
+          return InvalidArgumentError(
+              StrFormat("line %d: malformed node ids", line));
+        }
+        double probability = options.default_probability;
+        if (fields.size() == 3) {
+          // The negated in-range form also rejects NaN (strtod accepts the
+          // token "nan", and NaN passes naive < / > checks).
+          if (!ParseDouble(fields[2], &probability) ||
+              !(probability >= 0.0 && probability <= 1.0)) {
+            return InvalidArgumentError(
+                StrFormat("line %d: malformed probability", line));
+          }
+        }
+        if (source == target) {
+          return InvalidArgumentError(
+              StrFormat("line %d: self-loop on node %lld", line,
+                        static_cast<long long>(source)));
+        }
+        edges.push_back(ParsedEdge{static_cast<NodeId>(source),
+                                   static_cast<NodeId>(target), probability});
+        max_node = std::max(max_node,
+                            static_cast<NodeId>(std::max(source, target)));
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  GraphBuilder builder(max_node + 1);
+  for (const ParsedEdge& edge : edges) {
+    if (options.undirected) {
+      builder.AddUndirectedEdge(edge.source, edge.target, edge.probability);
+    } else {
+      builder.AddEdge(edge.source, edge.target, edge.probability);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseEdgeList(*text, options);
+}
+
+std::string SerializeEdgeList(const Graph& graph) {
+  std::string out =
+      StrFormat("# directed edge list: %d nodes, %lld edges\n",
+                graph.num_nodes(), static_cast<long long>(graph.num_edges()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+      out += StrFormat("%d %d %s\n", v, edge.node,
+                       FormatDouble(edge.probability).c_str());
+    }
+  }
+  return out;
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  return WriteStringToFile(SerializeEdgeList(graph), path);
+}
+
+Result<GroupAssignment> ParseGroupFile(const std::string& text,
+                                       NodeId num_nodes) {
+  std::vector<GroupId> group_of(num_nodes, -1);
+  Status status = ForEachDataLine(
+      text, [&](int line, const std::vector<std::string>& fields) -> Status {
+        if (fields.size() != 2) {
+          return InvalidArgumentError(
+              StrFormat("line %d: expected 'node group'", line));
+        }
+        int64_t node, group;
+        if (!ParseInt64(fields[0], &node) || !ParseInt64(fields[1], &group) ||
+            node < 0 || group < 0) {
+          return InvalidArgumentError(
+              StrFormat("line %d: malformed ids", line));
+        }
+        if (node >= num_nodes) {
+          return InvalidArgumentError(
+              StrFormat("line %d: node %lld out of range (n=%d)", line,
+                        static_cast<long long>(node), num_nodes));
+        }
+        group_of[node] = static_cast<GroupId>(group);
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (group_of[v] < 0) {
+      return InvalidArgumentError(
+          StrFormat("node %d has no group assignment", v));
+    }
+  }
+  return GroupAssignment(std::move(group_of));
+}
+
+Result<GroupAssignment> LoadGroupFile(const std::string& path,
+                                      NodeId num_nodes) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseGroupFile(*text, num_nodes);
+}
+
+std::string SerializeGroups(const GroupAssignment& groups) {
+  std::string out = StrFormat("# node group (k=%d)\n", groups.num_groups());
+  for (NodeId v = 0; v < groups.num_nodes(); ++v) {
+    out += StrFormat("%d %d\n", v, groups.GroupOf(v));
+  }
+  return out;
+}
+
+Status SaveGroups(const GroupAssignment& groups, const std::string& path) {
+  return WriteStringToFile(SerializeGroups(groups), path);
+}
+
+Result<std::vector<NodeId>> ParseSeedFile(const std::string& text,
+                                          NodeId num_nodes) {
+  std::vector<NodeId> seeds;
+  Status status = ForEachDataLine(
+      text, [&](int line, const std::vector<std::string>& fields) -> Status {
+        if (fields.size() != 1) {
+          return InvalidArgumentError(
+              StrFormat("line %d: expected a single node id", line));
+        }
+        int64_t node;
+        if (!ParseInt64(fields[0], &node) || node < 0) {
+          return InvalidArgumentError(
+              StrFormat("line %d: malformed node id", line));
+        }
+        if (node >= num_nodes) {
+          return InvalidArgumentError(
+              StrFormat("line %d: node %lld out of range (n=%d)", line,
+                        static_cast<long long>(node), num_nodes));
+        }
+        seeds.push_back(static_cast<NodeId>(node));
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  return seeds;
+}
+
+Result<std::vector<NodeId>> LoadSeedFile(const std::string& path,
+                                         NodeId num_nodes) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseSeedFile(*text, num_nodes);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return IoError("could not open: " + path);
+  std::string data;
+  char buffer[1 << 16];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    data.append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return IoError("read error: " + path);
+  return data;
+}
+
+Status WriteStringToFile(const std::string& data, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return IoError("could not open for writing: " + path);
+  const size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  if (written != data.size()) return IoError("short write: " + path);
+  return Status::Ok();
+}
+
+}  // namespace tcim

@@ -1,0 +1,71 @@
+// Graph and group-assignment file IO.
+//
+// Edge-list format (SNAP-compatible, '#' comments):
+//   # directed edge list: source target [probability]
+//   0 1 0.05
+//   1 2
+// A missing probability column uses `default_probability`.
+//
+// Group format: one "node group" pair per line, '#' comments allowed.
+
+#ifndef TCIM_GRAPH_IO_H_
+#define TCIM_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+struct EdgeListOptions {
+  // Treat each line as an undirected edge (adds both directions).
+  bool undirected = false;
+  // Probability used when the line has no third column.
+  double default_probability = 0.1;
+};
+
+// Parses an edge list from a string (node count inferred as max id + 1).
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options = {});
+
+// Loads an edge-list file.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options = {});
+
+// Serializes all directed edges as "source target probability" lines.
+std::string SerializeEdgeList(const Graph& graph);
+
+// Writes SerializeEdgeList(graph) to `path`.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+// Parses "node group" lines; nodes absent from the file are an error when
+// `num_nodes` nodes are expected.
+Result<GroupAssignment> ParseGroupFile(const std::string& text,
+                                       NodeId num_nodes);
+
+Result<GroupAssignment> LoadGroupFile(const std::string& path,
+                                      NodeId num_nodes);
+
+std::string SerializeGroups(const GroupAssignment& groups);
+
+Status SaveGroups(const GroupAssignment& groups, const std::string& path);
+
+// Parses a seed file: one node id per line, '#' comments allowed. Ids must
+// be in [0, num_nodes); duplicates are preserved in order.
+Result<std::vector<NodeId>> ParseSeedFile(const std::string& text,
+                                          NodeId num_nodes);
+
+Result<std::vector<NodeId>> LoadSeedFile(const std::string& path,
+                                         NodeId num_nodes);
+
+// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Writes a string to a file (truncating).
+Status WriteStringToFile(const std::string& data, const std::string& path);
+
+}  // namespace tcim
+
+#endif  // TCIM_GRAPH_IO_H_

@@ -1,0 +1,145 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tcim {
+
+namespace {
+
+// Sorted distinct undirected neighbor lists.
+std::vector<std::vector<NodeId>> UndirectedNeighbors(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<std::vector<NodeId>> adjacency(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const AdjacentEdge& e : graph.OutEdges(v)) adjacency[v].push_back(e.node);
+    for (const AdjacentEdge& e : graph.InEdges(v)) adjacency[v].push_back(e.node);
+    std::sort(adjacency[v].begin(), adjacency[v].end());
+    adjacency[v].erase(std::unique(adjacency[v].begin(), adjacency[v].end()),
+                       adjacency[v].end());
+  }
+  return adjacency;
+}
+
+// Number of common elements of two sorted vectors.
+int64_t SortedIntersectionSize(const std::vector<NodeId>& a,
+                               const std::vector<NodeId>& b) {
+  int64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  const auto adjacency = UndirectedNeighbors(graph);
+  int64_t closed_triples = 0;  // ordered pairs of neighbors that are linked
+  int64_t triples = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const int64_t degree = static_cast<int64_t>(adjacency[v].size());
+    triples += degree * (degree - 1) / 2;
+    // Count edges among v's neighborhood.
+    for (const NodeId w : adjacency[v]) {
+      if (w <= v) continue;  // each triangle corner pair once
+      closed_triples += SortedIntersectionSize(adjacency[v], adjacency[w]);
+    }
+  }
+  // Each triangle contributes 3 corner pairs counted once each above.
+  return triples == 0 ? 0.0 : static_cast<double>(closed_triples) / triples;
+}
+
+double AverageLocalClustering(const Graph& graph) {
+  const auto adjacency = UndirectedNeighbors(graph);
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const int64_t degree = static_cast<int64_t>(adjacency[v].size());
+    if (degree < 2) continue;
+    int64_t links = 0;
+    for (const NodeId w : adjacency[v]) {
+      links += SortedIntersectionSize(adjacency[v], adjacency[w]);
+    }
+    // Each neighbor-pair edge counted twice (once from each endpoint).
+    total += static_cast<double>(links) / (degree * (degree - 1));
+  }
+  return total / n;
+}
+
+double DegreeAssortativity(const Graph& graph) {
+  const auto adjacency = UndirectedNeighbors(graph);
+  // Pearson correlation over edge endpoint degrees, counting each
+  // undirected edge in both orientations (standard symmetric estimator).
+  double sum_x = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  int64_t count = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const double dv = static_cast<double>(adjacency[v].size());
+    for (const NodeId w : adjacency[v]) {
+      const double dw = static_cast<double>(adjacency[w].size());
+      sum_x += dv;
+      sum_xx += dv * dv;
+      sum_xy += dv * dw;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  const double mean = sum_x / count;
+  const double variance = sum_xx / count - mean * mean;
+  if (variance <= 1e-15) return 0.0;  // regular graph: undefined, report 0
+  const double covariance = sum_xy / count - mean * mean;
+  return covariance / variance;
+}
+
+double Modularity(const Graph& graph, const GroupAssignment& partition) {
+  TCIM_CHECK(graph.num_nodes() == partition.num_nodes());
+  const auto adjacency = UndirectedNeighbors(graph);
+  const int k = partition.num_groups();
+  std::vector<double> intra_edges(k, 0.0);
+  std::vector<double> total_degree(k, 0.0);
+  double m2 = 0.0;  // 2m = sum of degrees
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const GroupId gv = partition.GroupOf(v);
+    total_degree[gv] += static_cast<double>(adjacency[v].size());
+    m2 += static_cast<double>(adjacency[v].size());
+    for (const NodeId w : adjacency[v]) {
+      if (partition.GroupOf(w) == gv) intra_edges[gv] += 1.0;
+    }
+  }
+  if (m2 == 0.0) return 0.0;
+  double q = 0.0;
+  for (GroupId g = 0; g < k; ++g) {
+    q += intra_edges[g] / m2 -
+         (total_degree[g] / m2) * (total_degree[g] / m2);
+  }
+  return q;
+}
+
+double HomophilyIndex(const Graph& graph, const GroupAssignment& groups) {
+  TCIM_CHECK(graph.num_nodes() == groups.num_nodes());
+  const auto adjacency = UndirectedNeighbors(graph);
+  int64_t same = 0, total = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const NodeId w : adjacency[v]) {
+      if (w <= v) continue;  // undirected edge once
+      ++total;
+      if (groups.GroupOf(v) == groups.GroupOf(w)) ++same;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(same) / total;
+}
+
+}  // namespace tcim

@@ -1,0 +1,39 @@
+// Structural graph metrics, used to validate the dataset surrogates
+// (EXPERIMENTS.md reports them) and for analysis in examples.
+//
+// All metrics treat the graph as undirected (out ∪ in neighborhoods).
+
+#ifndef TCIM_GRAPH_METRICS_H_
+#define TCIM_GRAPH_METRICS_H_
+
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+// Global clustering coefficient: 3 · #triangles / #connected-triples.
+// Returns 0 for graphs without any path of length two.
+double GlobalClusteringCoefficient(const Graph& graph);
+
+// Average of per-node local clustering coefficients (nodes with degree < 2
+// contribute 0), Watts–Strogatz style.
+double AverageLocalClustering(const Graph& graph);
+
+// Degree assortativity: Pearson correlation of endpoint degrees over
+// undirected edges. In [-1, 1]; 0 for degree-uncorrelated graphs.
+double DegreeAssortativity(const Graph& graph);
+
+// Newman modularity of a node partition:
+//   Q = Σ_c (e_c / m − (d_c / 2m)²)
+// where e_c is the number of intra-community undirected edges, d_c the
+// total degree of community c, and m the number of undirected edges.
+// High for strongly assortative partitions.
+double Modularity(const Graph& graph, const GroupAssignment& partition);
+
+// Fraction of undirected edges whose endpoints share a group — the
+// homophily index the paper's §4.2 disparity argument is built on.
+double HomophilyIndex(const Graph& graph, const GroupAssignment& groups);
+
+}  // namespace tcim
+
+#endif  // TCIM_GRAPH_METRICS_H_

@@ -1,0 +1,244 @@
+#include "graph/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tcim {
+
+namespace {
+
+// Undirected adjacency as neighbor lists (out ∪ in, deduplicated).
+std::vector<std::vector<NodeId>> UndirectedAdjacency(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<std::vector<NodeId>> adjacency(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const AdjacentEdge& e : graph.OutEdges(v)) adjacency[v].push_back(e.node);
+    for (const AdjacentEdge& e : graph.InEdges(v)) adjacency[v].push_back(e.node);
+    std::sort(adjacency[v].begin(), adjacency[v].end());
+    adjacency[v].erase(std::unique(adjacency[v].begin(), adjacency[v].end()),
+                       adjacency[v].end());
+  }
+  return adjacency;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Normalize(std::vector<double>& v) {
+  const double norm = std::sqrt(Dot(v, v));
+  if (norm > 0.0) {
+    for (double& x : v) x /= norm;
+  }
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> SpectralEmbedding(const Graph& graph,
+                                                   int dim,
+                                                   int power_iterations,
+                                                   Rng& rng) {
+  const NodeId n = graph.num_nodes();
+  TCIM_CHECK(dim >= 1 && dim <= n) << "embedding dim out of range";
+  const auto adjacency = UndirectedAdjacency(graph);
+
+  // Normalizer for M = D^{-1/2} (A + I) D^{-1/2} with D from A + I
+  // (the +I self-loop regularizes isolated nodes and damps oscillation).
+  std::vector<double> inv_sqrt_degree(n);
+  for (NodeId v = 0; v < n; ++v) {
+    inv_sqrt_degree[v] = 1.0 / std::sqrt(adjacency[v].size() + 1.0);
+  }
+
+  auto multiply = [&](const std::vector<double>& x, std::vector<double>& y) {
+    for (NodeId v = 0; v < n; ++v) {
+      double sum = x[v] * inv_sqrt_degree[v];  // self-loop term
+      for (const NodeId w : adjacency[v]) {
+        sum += x[w] * inv_sqrt_degree[w];
+      }
+      y[v] = sum * inv_sqrt_degree[v];
+    }
+  };
+
+  // Deflated power iteration: eigenvector j is kept orthogonal to 0..j-1.
+  std::vector<std::vector<double>> eigenvectors;
+  eigenvectors.reserve(dim);
+  std::vector<double> next(n);
+  for (int j = 0; j < dim; ++j) {
+    std::vector<double> vec(n);
+    for (double& x : vec) x = rng.Gaussian();
+    Normalize(vec);
+    for (int iter = 0; iter < power_iterations; ++iter) {
+      multiply(vec, next);
+      // Gram–Schmidt against previously found eigenvectors.
+      for (const auto& prev : eigenvectors) {
+        const double coefficient = Dot(next, prev);
+        for (NodeId v = 0; v < n; ++v) next[v] -= coefficient * prev[v];
+      }
+      Normalize(next);
+      vec.swap(next);
+    }
+    eigenvectors.push_back(std::move(vec));
+  }
+
+  // Rows of the eigenvector matrix, row-normalized (Ng–Jordan–Weiss).
+  std::vector<std::vector<double>> embedding(n, std::vector<double>(dim));
+  for (NodeId v = 0; v < n; ++v) {
+    for (int j = 0; j < dim; ++j) embedding[v][j] = eigenvectors[j][v];
+    Normalize(embedding[v]);
+  }
+  return embedding;
+}
+
+std::vector<int> KMeans(const std::vector<std::vector<double>>& points,
+                        int num_clusters, int restarts, int iterations,
+                        Rng& rng) {
+  const size_t n = points.size();
+  TCIM_CHECK(num_clusters >= 1);
+  TCIM_CHECK(n >= static_cast<size_t>(num_clusters))
+      << "fewer points than clusters";
+  const size_t dim = points[0].size();
+
+  std::vector<int> best_assignment(n, 0);
+  double best_inertia = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < restarts; ++restart) {
+    // k-means++ seeding.
+    std::vector<std::vector<double>> centers;
+    centers.reserve(num_clusters);
+    centers.push_back(points[rng.NextIndex(n)]);
+    std::vector<double> min_dist(n);
+    for (int c = 1; c < num_clusters; ++c) {
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = std::numeric_limits<double>::infinity();
+        for (const auto& center : centers) {
+          d = std::min(d, SquaredDistance(points[i], center));
+        }
+        min_dist[i] = d;
+        total += d;
+      }
+      size_t chosen = 0;
+      if (total > 0.0) {
+        double threshold = rng.NextDouble() * total;
+        for (size_t i = 0; i < n; ++i) {
+          threshold -= min_dist[i];
+          if (threshold <= 0.0) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = rng.NextIndex(n);
+      }
+      centers.push_back(points[chosen]);
+    }
+
+    // Lloyd iterations.
+    std::vector<int> assignment(n, -1);
+    for (int iter = 0; iter < iterations; ++iter) {
+      bool changed = false;
+      for (size_t i = 0; i < n; ++i) {
+        int best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (int c = 0; c < num_clusters; ++c) {
+          const double d = SquaredDistance(points[i], centers[c]);
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        if (assignment[i] != best) {
+          assignment[i] = best;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+      // Recompute centers; re-seed empty clusters from the farthest point.
+      std::vector<std::vector<double>> sums(num_clusters,
+                                            std::vector<double>(dim, 0.0));
+      std::vector<int> counts(num_clusters, 0);
+      for (size_t i = 0; i < n; ++i) {
+        counts[assignment[i]]++;
+        for (size_t j = 0; j < dim; ++j) sums[assignment[i]][j] += points[i][j];
+      }
+      for (int c = 0; c < num_clusters; ++c) {
+        if (counts[c] == 0) {
+          centers[c] = points[rng.NextIndex(n)];
+          continue;
+        }
+        for (size_t j = 0; j < dim; ++j) centers[c][j] = sums[c][j] / counts[c];
+      }
+    }
+
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      inertia += SquaredDistance(points[i], centers[assignment[i]]);
+    }
+    if (inertia < best_inertia) {
+      best_inertia = inertia;
+      best_assignment = assignment;
+    }
+  }
+  return best_assignment;
+}
+
+GroupAssignment SpectralClustering(const Graph& graph,
+                                   const SpectralClusteringOptions& options,
+                                   Rng& rng) {
+  TCIM_CHECK(options.num_clusters >= 1);
+  TCIM_CHECK(graph.num_nodes() >= options.num_clusters)
+      << "fewer nodes than clusters";
+  const int dim =
+      options.embedding_dim > 0 ? options.embedding_dim : options.num_clusters;
+  const auto embedding =
+      SpectralEmbedding(graph, dim, options.power_iterations, rng);
+  std::vector<int> labels =
+      KMeans(embedding, options.num_clusters, options.kmeans_restarts,
+             options.kmeans_iterations, rng);
+
+  // Repair empty labels so that the assignment is dense: steal members from
+  // the largest cluster (rare; guards k-means degeneracies).
+  while (true) {
+    std::vector<int> counts(options.num_clusters, 0);
+    for (const int label : labels) counts[label]++;
+    int empty = -1;
+    for (int c = 0; c < options.num_clusters; ++c) {
+      if (counts[c] == 0) {
+        empty = c;
+        break;
+      }
+    }
+    if (empty < 0) break;
+    const int largest = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    // Move half of the largest cluster's members (by node order) to `empty`.
+    int to_move = counts[largest] / 2;
+    TCIM_CHECK(to_move > 0) << "cannot repair empty cluster";
+    for (size_t i = 0; i < labels.size() && to_move > 0; ++i) {
+      if (labels[i] == largest) {
+        labels[i] = empty;
+        --to_move;
+      }
+    }
+  }
+
+  std::vector<GroupId> groups(labels.begin(), labels.end());
+  return GroupAssignment(std::move(groups));
+}
+
+}  // namespace tcim

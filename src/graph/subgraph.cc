@@ -1,0 +1,93 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace tcim {
+
+SubgraphResult InducedSubgraph(const Graph& graph,
+                               const std::vector<NodeId>& keep) {
+  SubgraphResult result;
+  result.old_to_new.assign(graph.num_nodes(), -1);
+
+  std::vector<NodeId> sorted = keep;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const NodeId v : sorted) {
+    TCIM_CHECK(v >= 0 && v < graph.num_nodes())
+        << "node out of range: " << v;
+  }
+
+  result.new_to_old = sorted;
+  for (NodeId new_id = 0; new_id < static_cast<NodeId>(sorted.size());
+       ++new_id) {
+    result.old_to_new[sorted[new_id]] = new_id;
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(sorted.size()));
+  for (const NodeId old_source : sorted) {
+    for (const AdjacentEdge& edge : graph.OutEdges(old_source)) {
+      const NodeId new_target = result.old_to_new[edge.node];
+      if (new_target >= 0) {
+        builder.AddEdge(result.old_to_new[old_source], new_target,
+                        edge.probability);
+      }
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+SubgraphResult LargestComponent(const Graph& graph) {
+  int num_components = 0;
+  const std::vector<int> component =
+      WeaklyConnectedComponents(graph, &num_components);
+  std::vector<int64_t> sizes(std::max(1, num_components), 0);
+  for (const int c : component) sizes[c]++;
+  const int largest = static_cast<int>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<NodeId> keep;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (component[v] == largest) keep.push_back(v);
+  }
+  return InducedSubgraph(graph, keep);
+}
+
+GroupAssignment RestrictGroups(const GroupAssignment& groups,
+                               const SubgraphResult& subgraph) {
+  TCIM_CHECK(groups.num_nodes() ==
+             static_cast<NodeId>(subgraph.old_to_new.size()))
+      << "groups were built for a different graph";
+  std::vector<GroupId> group_of;
+  group_of.reserve(subgraph.new_to_old.size());
+  for (const NodeId old_id : subgraph.new_to_old) {
+    group_of.push_back(groups.GroupOf(old_id));
+  }
+  // Group ids may no longer be dense if a whole group was dropped;
+  // compact them.
+  GroupId max_group = -1;
+  for (const GroupId g : group_of) max_group = std::max(max_group, g);
+  std::vector<GroupId> remap(max_group + 1, -1);
+  GroupId next = 0;
+  for (const GroupId g : group_of) {
+    if (remap[g] == -1) remap[g] = next++;
+  }
+  for (GroupId& g : group_of) g = remap[g];
+  return GroupAssignment(std::move(group_of));
+}
+
+std::vector<NodeId> RestrictNodes(const std::vector<NodeId>& nodes,
+                                  const SubgraphResult& subgraph) {
+  std::vector<NodeId> mapped;
+  for (const NodeId v : nodes) {
+    TCIM_CHECK(v >= 0 && v < static_cast<NodeId>(subgraph.old_to_new.size()))
+        << "node out of range: " << v;
+    const NodeId new_id = subgraph.old_to_new[v];
+    if (new_id >= 0) mapped.push_back(new_id);
+  }
+  return mapped;
+}
+
+}  // namespace tcim

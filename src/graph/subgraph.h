@@ -1,0 +1,45 @@
+// Subgraph extraction utilities.
+//
+// Real-data pipelines routinely restrict to an induced subgraph (the
+// largest weakly connected component, a sampled node set, one community).
+// Extraction renumbers nodes densely; NodeMapping records old <-> new ids
+// so seed sets and group assignments can be carried across.
+
+#ifndef TCIM_GRAPH_SUBGRAPH_H_
+#define TCIM_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+struct SubgraphResult {
+  Graph graph;
+  // new_to_old[new_id] = old_id (dense, sorted ascending by old id).
+  std::vector<NodeId> new_to_old;
+  // old_to_new[old_id] = new id, or -1 if the node was dropped.
+  std::vector<NodeId> old_to_new;
+};
+
+// The subgraph induced by `keep` (duplicates ignored): keeps every edge
+// whose endpoints both survive, with its probability.
+SubgraphResult InducedSubgraph(const Graph& graph,
+                               const std::vector<NodeId>& keep);
+
+// The subgraph induced by the largest weakly connected component.
+SubgraphResult LargestComponent(const Graph& graph);
+
+// Re-maps a group assignment onto the subgraph's nodes.
+GroupAssignment RestrictGroups(const GroupAssignment& groups,
+                               const SubgraphResult& subgraph);
+
+// Re-maps node ids (e.g. a seed set) onto the subgraph, dropping nodes
+// that were not kept.
+std::vector<NodeId> RestrictNodes(const std::vector<NodeId>& nodes,
+                                  const SubgraphResult& subgraph);
+
+}  // namespace tcim
+
+#endif  // TCIM_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,103 @@
+#include "sim/analytics.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "sim/cascade.h"
+#include "sim/live_edge.h"
+
+namespace tcim {
+
+double ArrivalCurves::NormalizedAt(GroupId g, int t,
+                                   const GroupAssignment& groups) const {
+  TCIM_CHECK(g >= 0 && g < static_cast<GroupId>(cumulative.size()));
+  TCIM_CHECK(t >= 0 && t <= horizon);
+  return cumulative[g][t] / groups.GroupSize(g);
+}
+
+int ArrivalCurves::TimeToReach(GroupId g, double fraction,
+                               const GroupAssignment& groups) const {
+  TCIM_CHECK(g >= 0 && g < static_cast<GroupId>(cumulative.size()));
+  for (int t = 0; t <= horizon; ++t) {
+    if (NormalizedAt(g, t, groups) + 1e-12 >= fraction) return t;
+  }
+  return -1;
+}
+
+std::string ArrivalCurves::ToCsv(const GroupAssignment& groups) const {
+  std::string out = "t";
+  for (size_t g = 0; g < cumulative.size(); ++g) {
+    out += StrFormat(",group%zu", g);
+  }
+  out += '\n';
+  for (int t = 0; t <= horizon; ++t) {
+    out += StrFormat("%d", t);
+    for (size_t g = 0; g < cumulative.size(); ++g) {
+      out += ',';
+      out += FormatDouble(
+          NormalizedAt(static_cast<GroupId>(g), t, groups), 6);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ArrivalCurves ComputeArrivalCurves(const Graph& graph,
+                                   const GroupAssignment& groups,
+                                   const std::vector<NodeId>& seeds,
+                                   int horizon,
+                                   const OracleOptions& options) {
+  TCIM_CHECK(graph.num_nodes() == groups.num_nodes());
+  TCIM_CHECK(horizon >= 0);
+  TCIM_CHECK(options.num_worlds > 0);
+  const int k = groups.num_groups();
+
+  ArrivalCurves curves;
+  curves.horizon = horizon;
+  curves.cumulative.assign(k, std::vector<double>(horizon + 1, 0.0));
+
+  WorldSampler sampler(&graph, options.model, options.seed);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Default();
+  std::mutex merge_mutex;
+
+  pool.ParallelFor(
+      static_cast<size_t>(options.num_worlds),
+      [&](size_t begin, size_t end) {
+        // Per-shard: new-activation counts per (group, time), merged once.
+        std::vector<std::vector<double>> local(
+            k, std::vector<double>(horizon + 1, 0.0));
+        for (size_t world = begin; world < end; ++world) {
+          const CascadeResult result = SimulateInWorld(
+              graph, seeds, sampler, static_cast<uint32_t>(world), horizon);
+          for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+            const int t = result.activation_time[v];
+            if (t >= 0 && t <= horizon) {
+              local[groups.GroupOf(v)][t] += 1.0;
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (int g = 0; g < k; ++g) {
+          for (int t = 0; t <= horizon; ++t) {
+            curves.cumulative[g][t] += local[g][t];
+          }
+        }
+      });
+
+  // New activations -> cumulative counts, averaged over worlds.
+  const double scale = 1.0 / options.num_worlds;
+  for (int g = 0; g < k; ++g) {
+    double running = 0.0;
+    for (int t = 0; t <= horizon; ++t) {
+      running += curves.cumulative[g][t] * scale;
+      curves.cumulative[g][t] = running;
+    }
+  }
+  return curves;
+}
+
+}  // namespace tcim

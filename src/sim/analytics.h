@@ -1,0 +1,52 @@
+// Cascade analytics: expected per-group arrival curves.
+//
+// An arrival curve is the time series F_i(t) = E[#{v ∈ V_i : t_v ≤ t}] for
+// t = 0..horizon — the paper's "the majority gets influenced FASTER than
+// the minority" phenomenon made quantitative (§1: "if one group of people
+// gets influenced faster than other groups, it could end up exacerbating
+// the inequality in information access"). The curve at t = τ equals the
+// Eq. 1 utility, so curves subsume every deadline at once.
+
+#ifndef TCIM_SIM_ANALYTICS_H_
+#define TCIM_SIM_ANALYTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/groups.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+
+struct ArrivalCurves {
+  // cumulative[g][t]: expected count of group-g nodes activated by time t.
+  std::vector<std::vector<double>> cumulative;
+  int horizon = 0;
+
+  // Normalized value F_g(t) / |V_g|; requires the matching `groups`.
+  double NormalizedAt(GroupId g, int t, const GroupAssignment& groups) const;
+
+  // Earliest t at which group g's normalized curve reaches `fraction`, or
+  // -1 if it never does within the horizon. The "time to reach" gap
+  // between groups measures speed inequality directly.
+  int TimeToReach(GroupId g, double fraction,
+                  const GroupAssignment& groups) const;
+
+  // CSV rendering: header "t,group0,group1,..." and one row per time step
+  // with normalized values.
+  std::string ToCsv(const GroupAssignment& groups) const;
+};
+
+// Computes expected arrival curves of `seeds` over `options.num_worlds`
+// live-edge worlds up to `horizon` steps (inclusive). Uses the same world
+// construction as InfluenceOracle, so curves are consistent with oracle
+// estimates: curve[g][τ] == f̂_τ(S; V_g) for every τ ≤ horizon.
+ArrivalCurves ComputeArrivalCurves(const Graph& graph,
+                                   const GroupAssignment& groups,
+                                   const std::vector<NodeId>& seeds,
+                                   int horizon, const OracleOptions& options);
+
+}  // namespace tcim
+
+#endif  // TCIM_SIM_ANALYTICS_H_

@@ -1,0 +1,169 @@
+#include "sim/cascade.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace tcim {
+
+int CascadeResult::CountActivatedBy(int deadline) const {
+  int count = 0;
+  for (const int t : activation_time) {
+    if (t >= 0 && t <= deadline) ++count;
+  }
+  return count;
+}
+
+std::vector<int> CascadeResult::ActivationHistogram() const {
+  int max_time = -1;
+  for (const int t : activation_time) max_time = std::max(max_time, t);
+  std::vector<int> histogram(max_time + 1, 0);
+  for (const int t : activation_time) {
+    if (t >= 0) histogram[t]++;
+  }
+  return histogram;
+}
+
+std::string CascadeToDot(const CascadeResult& result,
+                         const GroupAssignment* groups) {
+  // A small qualitative palette cycled by group id.
+  static const char* const kColors[] = {"lightblue", "salmon",  "palegreen",
+                                        "gold",      "orchid", "gray80"};
+  std::string out = "digraph cascade {\n  rankdir=LR;\n";
+  for (NodeId v = 0; v < static_cast<NodeId>(result.activation_time.size());
+       ++v) {
+    const int t = result.activation_time[v];
+    if (t < 0) continue;
+    out += StrFormat("  n%d [label=\"%d@%d\"", v, v, t);
+    if (groups != nullptr) {
+      const int color_count =
+          static_cast<int>(sizeof(kColors) / sizeof(kColors[0]));
+      out += StrFormat(", style=filled, fillcolor=%s",
+                       kColors[groups->GroupOf(v) % color_count]);
+    }
+    if (t == 0) out += ", shape=doublecircle";  // seeds stand out
+    out += "];\n";
+  }
+  for (NodeId v = 0; v < static_cast<NodeId>(result.activated_by.size());
+       ++v) {
+    if (result.activated_by[v] >= 0) {
+      out += StrFormat("  n%d -> n%d;\n", result.activated_by[v], v);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+// Seeds -> initial frontier; every seed activates at t = 0.
+void InitializeSeeds(const Graph& graph, const std::vector<NodeId>& seeds,
+                     CascadeResult* result, std::vector<NodeId>* frontier) {
+  result->activation_time.assign(graph.num_nodes(), -1);
+  result->activated_by.assign(graph.num_nodes(), -1);
+  for (const NodeId s : seeds) {
+    TCIM_CHECK(s >= 0 && s < graph.num_nodes()) << "seed out of range: " << s;
+    if (result->activation_time[s] == -1) {
+      result->activation_time[s] = 0;
+      result->num_activated++;
+      frontier->push_back(s);
+    }
+  }
+}
+
+}  // namespace
+
+CascadeResult SimulateIc(const Graph& graph, const std::vector<NodeId>& seeds,
+                         Rng& rng) {
+  CascadeResult result;
+  std::vector<NodeId> frontier;
+  InitializeSeeds(graph, seeds, &result, &frontier);
+
+  int time = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++time;
+    next.clear();
+    for (const NodeId v : frontier) {
+      for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+        if (result.activation_time[edge.node] != -1) continue;
+        if (rng.Bernoulli(edge.probability)) {
+          result.activation_time[edge.node] = time;
+          result.activated_by[edge.node] = v;
+          result.num_activated++;
+          next.push_back(edge.node);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+CascadeResult SimulateLt(const Graph& graph, const std::vector<NodeId>& seeds,
+                         Rng& rng) {
+  CascadeResult result;
+  std::vector<NodeId> frontier;
+  InitializeSeeds(graph, seeds, &result, &frontier);
+
+  // Random thresholds; node v activates when the accumulated weight of its
+  // active in-neighbors reaches threshold[v].
+  std::vector<double> threshold(graph.num_nodes());
+  for (double& t : threshold) t = rng.NextDouble();
+  std::vector<double> accumulated(graph.num_nodes(), 0.0);
+
+  int time = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++time;
+    next.clear();
+    for (const NodeId v : frontier) {
+      for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+        const NodeId w = edge.node;
+        if (result.activation_time[w] != -1) continue;
+        accumulated[w] += edge.probability;
+        if (accumulated[w] >= threshold[w]) {
+          result.activation_time[w] = time;
+          result.activated_by[w] = v;  // the tipping neighbor
+          result.num_activated++;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+CascadeResult SimulateInWorld(const Graph& graph,
+                              const std::vector<NodeId>& seeds,
+                              const WorldSampler& sampler, uint32_t world,
+                              int max_time) {
+  CascadeResult result;
+  std::vector<NodeId> frontier;
+  InitializeSeeds(graph, seeds, &result, &frontier);
+
+  int time = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty() && time < max_time) {
+    ++time;
+    next.clear();
+    for (const NodeId v : frontier) {
+      for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+        if (result.activation_time[edge.node] != -1) continue;
+        if (sampler.IsLive(world, edge.edge_id)) {
+          result.activation_time[edge.node] = time;
+          result.activated_by[edge.node] = v;
+          result.num_activated++;
+          next.push_back(edge.node);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+}  // namespace tcim

@@ -1,0 +1,73 @@
+// Forward cascade simulation with activation timestamps.
+//
+// Two entry points:
+//   * SimulateIc / SimulateLt — fresh-randomness simulations driven by an
+//     Rng, used for evaluation, examples and tests;
+//   * SimulateInWorld — deterministic simulation inside a WorldSampler
+//     world, used to cross-validate the influence oracle (the oracle's
+//     covered set for world r must equal the nodes this function activates
+//     within the deadline).
+//
+// Timestamps follow the paper's §3.1: seeds activate at t=0; a node
+// activated at t-1 gets one chance to activate each out-neighbor at t.
+
+#ifndef TCIM_SIM_CASCADE_H_
+#define TCIM_SIM_CASCADE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+#include "sim/live_edge.h"
+
+namespace tcim {
+
+// The deadline value meaning "no deadline" (τ = ∞).
+inline constexpr int kNoDeadline = 1 << 29;
+
+struct CascadeResult {
+  // activation_time[v] >= 0 when v was activated; -1 otherwise (the paper's
+  // t_v = -1 convention).
+  std::vector<int> activation_time;
+  // activated_by[v]: the neighbor whose influence attempt activated v
+  // (provenance); -1 for seeds and never-activated nodes.
+  std::vector<NodeId> activated_by;
+  int num_activated = 0;
+
+  // Nodes activated no later than `deadline`.
+  int CountActivatedBy(int deadline) const;
+
+  // Number of activated nodes per time step t = 0..max time (index = t).
+  std::vector<int> ActivationHistogram() const;
+};
+
+// GraphViz DOT rendering of a cascade's activation forest: activated nodes
+// become vertices labeled "id@t" (colored by group when `groups` is
+// non-null) and provenance edges parent -> child. For small graphs /
+// debugging / the examples.
+std::string CascadeToDot(const CascadeResult& result,
+                         const GroupAssignment* groups = nullptr);
+
+// One Independent Cascade realization from `seeds` (fresh coins from rng).
+CascadeResult SimulateIc(const Graph& graph, const std::vector<NodeId>& seeds,
+                         Rng& rng);
+
+// One Linear Threshold realization: each node draws a threshold θ ~ U[0,1]
+// and activates at time t once the weight sum of in-neighbors active at
+// times < t reaches θ.
+CascadeResult SimulateLt(const Graph& graph, const std::vector<NodeId>& seeds,
+                         Rng& rng);
+
+// Deterministic cascade in the given live-edge world. Activation times are
+// live-edge hop distances from the seed set; propagation is cut off at
+// `max_time` steps (pass kNoDeadline for no cutoff).
+CascadeResult SimulateInWorld(const Graph& graph,
+                              const std::vector<NodeId>& seeds,
+                              const WorldSampler& sampler, uint32_t world,
+                              int max_time = kNoDeadline);
+
+}  // namespace tcim
+
+#endif  // TCIM_SIM_CASCADE_H_

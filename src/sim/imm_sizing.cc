@@ -1,0 +1,84 @@
+// IMM-style adaptive set-count computation for RrSketch.
+//
+// Follows the two-phase structure of Tang–Shi–Xiao (SIGMOD'15): phase 1
+// searches a lower bound LB for OPT_B by testing guesses x = n/2^i with a
+// sketch of θ_i = λ' / x sets; phase 2 sizes the final sketch as
+// θ = λ* / LB. Constants use the standard λ', λ* with ln C(n, B)
+// approximated by B·ln n (the usual upper bound). The guarantee transfers
+// to the time-critical setting because a τ-bounded RR set is still an
+// unbiased reachability witness for the τ-bounded process.
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/rr_sets.h"
+
+namespace tcim {
+
+namespace {
+
+// Greedy max-coverage value (expected influenced nodes) of the best
+// B-seed set on the given sketch.
+double GreedyCoverageOnSketch(const RrSketch& sketch, int budget) {
+  const std::vector<NodeId> seeds =
+      sketch.SelectSeedsBudget(budget, [](double z) { return z; });
+  return GroupVectorTotal(sketch.EstimateGroupCoverage(seeds));
+}
+
+}  // namespace
+
+int ComputeAdaptiveSetsPerGroup(const Graph& graph,
+                                const GroupAssignment& groups, int budget,
+                                double epsilon, double delta,
+                                const RrSketchOptions& base_options) {
+  TCIM_CHECK(budget >= 1);
+  TCIM_CHECK(epsilon > 0.0 && epsilon < 1.0) << "epsilon must be in (0,1)";
+  TCIM_CHECK(delta > 0.0 && delta < 1.0) << "delta must be in (0,1)";
+  const double n = static_cast<double>(graph.num_nodes());
+  TCIM_CHECK(n >= 2);
+  const int k = groups.num_groups();
+
+  // ln C(n, B) <= B ln n; log2(n) levels in the search.
+  const double log_choose = budget * std::log(n);
+  const double log_levels = std::log(std::max(2.0, std::log2(n)));
+  const double eps_prime = epsilon * std::sqrt(2.0);
+
+  // λ' of IMM phase 1.
+  const double lambda_prime =
+      (2.0 + 2.0 / 3.0 * eps_prime) *
+      (log_choose + std::log(1.0 / delta) + log_levels) * n /
+      (eps_prime * eps_prime);
+
+  // Phase 1: halving search for a lower bound on OPT.
+  double lower_bound = 1.0;
+  const int max_level = std::max(1, static_cast<int>(std::log2(n)) - 1);
+  for (int level = 1; level <= max_level; ++level) {
+    const double x = n / std::pow(2.0, level);
+    const double theta = lambda_prime / x;
+    RrSketchOptions options = base_options;
+    options.sets_per_group = std::max(
+        1, static_cast<int>(std::ceil(theta / k)));
+    // Decorrelate each level's sketch from the final one.
+    options.seed = HashCombine(base_options.seed, 0x1e7e1ull + level);
+    RrSketch sketch(&graph, &groups, options);
+    const double coverage = GreedyCoverageOnSketch(sketch, budget);
+    if (coverage >= (1.0 + eps_prime) * x) {
+      lower_bound = coverage / (1.0 + eps_prime);
+      break;
+    }
+    lower_bound = std::max(lower_bound, static_cast<double>(budget));
+  }
+
+  // Phase 2: λ* and the final count.
+  const double alpha = std::sqrt(std::log(1.0 / delta));
+  const double beta = std::sqrt((1.0 - 1.0 / M_E) *
+                                (log_choose + std::log(1.0 / delta)));
+  const double lambda_star = 2.0 * n *
+                             std::pow((1.0 - 1.0 / M_E) * alpha + beta, 2.0) /
+                             (epsilon * epsilon);
+  const double theta = lambda_star / lower_bound;
+  return std::max(1, static_cast<int>(std::ceil(theta / k)));
+}
+
+}  // namespace tcim

@@ -1,0 +1,178 @@
+#include "sim/influence_oracle.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace tcim {
+
+InfluenceOracle::InfluenceOracle(const Graph* graph,
+                                 const GroupAssignment* groups,
+                                 const OracleOptions& options)
+    : graph_(graph),
+      groups_(groups),
+      options_(options),
+      sampler_(graph, options.model, options.seed) {
+  TCIM_CHECK(graph != nullptr && groups != nullptr);
+  TCIM_CHECK(graph->num_nodes() == groups->num_nodes())
+      << "graph/groups node count mismatch";
+  TCIM_CHECK(options.num_worlds > 0) << "need at least one world";
+  TCIM_CHECK(options.deadline >= 0) << "deadline must be >= 0 (or kNoDeadline)";
+  words_per_world_ = (static_cast<size_t>(graph->num_nodes()) + 63) / 64;
+  covered_.assign(words_per_world_ * options.num_worlds, 0);
+  group_coverage_.assign(groups->num_groups(), 0.0);
+}
+
+ThreadPool& InfluenceOracle::pool() const {
+  return options_.pool != nullptr ? *options_.pool : ThreadPool::Default();
+}
+
+void InfluenceOracle::CollectNewlyCovered(uint32_t world, NodeId candidate,
+                                          TraversalScratch& scratch) const {
+  const NodeId n = graph_->num_nodes();
+  if (scratch.stamp.size() != static_cast<size_t>(n)) {
+    scratch.stamp.assign(n, 0);
+    scratch.epoch = 0;
+  }
+  // A fresh epoch invalidates all previous stamps in O(1); wraparound resets.
+  if (++scratch.epoch == INT32_MAX) {
+    scratch.stamp.assign(n, 0);
+    scratch.epoch = 1;
+  }
+  const int32_t epoch = scratch.epoch;
+  scratch.queue.clear();
+  scratch.reached.clear();
+
+  // τ-bounded BFS over live edges; depth tracked via level boundaries.
+  scratch.stamp[candidate] = epoch;
+  scratch.queue.push_back(candidate);
+  if (!IsCovered(world, candidate)) scratch.reached.push_back(candidate);
+
+  size_t level_begin = 0;
+  size_t level_end = scratch.queue.size();
+  int depth = 0;
+  while (level_begin < level_end && depth < options_.deadline) {
+    ++depth;
+    for (size_t i = level_begin; i < level_end; ++i) {
+      const NodeId v = scratch.queue[i];
+      for (const AdjacentEdge& edge : graph_->OutEdges(v)) {
+        if (scratch.stamp[edge.node] == epoch) continue;
+        if (!sampler_.IsLive(world, edge.edge_id)) continue;
+        scratch.stamp[edge.node] = epoch;
+        scratch.queue.push_back(edge.node);
+        if (!IsCovered(world, edge.node)) {
+          scratch.reached.push_back(edge.node);
+        }
+      }
+    }
+    level_begin = level_end;
+    level_end = scratch.queue.size();
+  }
+}
+
+GroupVector InfluenceOracle::EvaluateCandidate(NodeId candidate, bool commit) {
+  TCIM_CHECK(candidate >= 0 && candidate < graph_->num_nodes())
+      << "candidate out of range: " << candidate;
+  const int k = num_groups();
+  GroupVector gain(k, 0.0);
+  std::mutex merge_mutex;
+  pool().ParallelFor(
+      static_cast<size_t>(options_.num_worlds),
+      [&](size_t begin, size_t end) {
+        TraversalScratch scratch;
+        GroupVector local(k, 0.0);
+        for (size_t world = begin; world < end; ++world) {
+          const uint32_t w = static_cast<uint32_t>(world);
+          CollectNewlyCovered(w, candidate, scratch);
+          for (const NodeId v : scratch.reached) {
+            local[groups_->GroupOf(v)] += 1.0;
+            // Different worlds own disjoint 64-bit words (words_per_world_
+            // stride), so concurrent commits are race-free.
+            if (commit) SetCovered(w, v);
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (int g = 0; g < k; ++g) gain[g] += local[g];
+      });
+  const double scale = 1.0 / options_.num_worlds;
+  for (double& g : gain) g *= scale;
+  return gain;
+}
+
+GroupVector InfluenceOracle::MarginalGain(NodeId candidate) {
+  // commit=false leaves all logical state unchanged.
+  return EvaluateCandidate(candidate, /*commit=*/false);
+}
+
+GroupVector InfluenceOracle::AddSeed(NodeId candidate) {
+  GroupVector gain = EvaluateCandidate(candidate, /*commit=*/true);
+  seeds_.push_back(candidate);
+  for (int g = 0; g < num_groups(); ++g) group_coverage_[g] += gain[g];
+  return gain;
+}
+
+void InfluenceOracle::Reset() {
+  seeds_.clear();
+  std::fill(covered_.begin(), covered_.end(), 0);
+  std::fill(group_coverage_.begin(), group_coverage_.end(), 0.0);
+}
+
+GroupVector InfluenceOracle::EstimateGroupCoverage(
+    const std::vector<NodeId>& set) const {
+  const int k = num_groups();
+  const NodeId n = graph_->num_nodes();
+  GroupVector coverage(k, 0.0);
+  std::mutex merge_mutex;
+  pool().ParallelFor(
+      static_cast<size_t>(options_.num_worlds),
+      [&](size_t begin, size_t end) {
+        TraversalScratch scratch;
+        scratch.stamp.assign(n, 0);
+        GroupVector local(k, 0.0);
+        for (size_t world = begin; world < end; ++world) {
+          const uint32_t w = static_cast<uint32_t>(world);
+          if (++scratch.epoch == INT32_MAX) {
+            scratch.stamp.assign(n, 0);
+            scratch.epoch = 1;
+          }
+          const int32_t epoch = scratch.epoch;
+          scratch.queue.clear();
+          // Multi-source τ-bounded BFS from the whole set, independent of
+          // the committed covered state.
+          for (const NodeId s : set) {
+            TCIM_CHECK(s >= 0 && s < n) << "seed out of range";
+            if (scratch.stamp[s] != epoch) {
+              scratch.stamp[s] = epoch;
+              scratch.queue.push_back(s);
+              local[groups_->GroupOf(s)] += 1.0;
+            }
+          }
+          size_t level_begin = 0;
+          size_t level_end = scratch.queue.size();
+          int depth = 0;
+          while (level_begin < level_end && depth < options_.deadline) {
+            ++depth;
+            for (size_t i = level_begin; i < level_end; ++i) {
+              const NodeId v = scratch.queue[i];
+              for (const AdjacentEdge& edge : graph_->OutEdges(v)) {
+                if (scratch.stamp[edge.node] == epoch) continue;
+                if (!sampler_.IsLive(w, edge.edge_id)) continue;
+                scratch.stamp[edge.node] = epoch;
+                scratch.queue.push_back(edge.node);
+                local[groups_->GroupOf(edge.node)] += 1.0;
+              }
+            }
+            level_begin = level_end;
+            level_end = scratch.queue.size();
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (int g = 0; g < k; ++g) coverage[g] += local[g];
+      });
+  const double scale = 1.0 / options_.num_worlds;
+  for (double& c : coverage) c *= scale;
+  return coverage;
+}
+
+}  // namespace tcim

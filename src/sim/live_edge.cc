@@ -1,0 +1,35 @@
+#include "sim/live_edge.h"
+
+#include "common/check.h"
+
+namespace tcim {
+
+const char* DiffusionModelName(DiffusionModel model) {
+  switch (model) {
+    case DiffusionModel::kIndependentCascade:
+      return "IC";
+    case DiffusionModel::kLinearThreshold:
+      return "LT";
+  }
+  return "UNKNOWN";
+}
+
+WorldSampler::WorldSampler(const Graph* graph, DiffusionModel model,
+                           uint64_t seed)
+    : graph_(graph), model_(model), seed_(seed) {
+  TCIM_CHECK(graph != nullptr);
+}
+
+EdgeId WorldSampler::LinearThresholdChoice(uint32_t world, NodeId node) const {
+  TCIM_CHECK(model_ == DiffusionModel::kLinearThreshold)
+      << "LinearThresholdChoice is only defined for the LT model";
+  const double threshold = NodeCoin(world, node);
+  double cumulative = 0.0;
+  for (const AdjacentEdge& in_edge : graph_->InEdges(node)) {
+    cumulative += in_edge.probability;
+    if (threshold < cumulative) return in_edge.edge_id;
+  }
+  return -1;  // Σ weights < 1 and the threshold fell in the "no edge" mass.
+}
+
+}  // namespace tcim

@@ -1,0 +1,11 @@
+#include "sim/oracle_interface.h"
+
+namespace tcim {
+
+double GroupVectorTotal(const GroupVector& vec) {
+  double total = 0.0;
+  for (const double v : vec) total += v;
+  return total;
+}
+
+}  // namespace tcim

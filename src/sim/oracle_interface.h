@@ -1,0 +1,58 @@
+// Abstract interface for stateful per-group coverage oracles.
+//
+// The greedy engine (core/greedy.h) only needs four operations: query a
+// candidate's marginal per-group gain, commit a seed, reset, and read the
+// current per-group coverage. Two backends implement it:
+//
+//   * InfluenceOracle (sim/influence_oracle.h) — the step utility
+//     1(t_v ≤ τ) of the paper, as bit-packed covered sets;
+//   * ArrivalOracle (sim/arrival_oracle.h) — general nonincreasing
+//     temporal weights w(t) (e.g. exponential discounting, the paper's
+//     future-work direction) over earliest arrival times, with optional
+//     per-edge transmission delays (the IC-M model of Chen et al. 2012).
+
+#ifndef TCIM_SIM_ORACLE_INTERFACE_H_
+#define TCIM_SIM_ORACLE_INTERFACE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+// Per-group expected-weight vector, indexed by GroupId.
+using GroupVector = std::vector<double>;
+
+// Σ_i vec[i].
+double GroupVectorTotal(const GroupVector& vec);
+
+class GroupCoverageOracle {
+ public:
+  virtual ~GroupCoverageOracle() = default;
+
+  virtual const Graph& graph() const = 0;
+  virtual const GroupAssignment& groups() const = 0;
+  int num_groups() const { return groups().num_groups(); }
+
+  // Seeds committed so far, in insertion order.
+  virtual const std::vector<NodeId>& seeds() const = 0;
+
+  // Estimated per-group utility of the committed seed set.
+  virtual const GroupVector& group_coverage() const = 0;
+  double total_coverage() const { return GroupVectorTotal(group_coverage()); }
+
+  // Estimated per-group marginal utility of adding `candidate`. Must not
+  // change logical state.
+  virtual GroupVector MarginalGain(NodeId candidate) = 0;
+
+  // Commits `candidate`; returns its realized per-group marginal utility.
+  virtual GroupVector AddSeed(NodeId candidate) = 0;
+
+  // Clears the committed seed set.
+  virtual void Reset() = 0;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_SIM_ORACLE_INTERFACE_H_

@@ -1,0 +1,217 @@
+#include "sim/rr_sets.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+
+namespace tcim {
+
+RrSketch::RrSketch(const Graph* graph, const GroupAssignment* groups,
+                   const RrSketchOptions& options)
+    : graph_(graph), groups_(groups), options_(options) {
+  TCIM_CHECK(graph != nullptr && groups != nullptr);
+  TCIM_CHECK(graph->num_nodes() == groups->num_nodes());
+  TCIM_CHECK(options.sets_per_group > 0);
+  TCIM_CHECK(options.deadline >= 0);
+
+  const int k = groups->num_groups();
+  const NodeId n = graph->num_nodes();
+  const int per_group = options.sets_per_group;
+  const int total_sets = per_group * k;
+
+  group_weight_.resize(k);
+  for (GroupId g = 0; g < k; ++g) {
+    group_weight_[g] = static_cast<double>(groups->GroupSize(g)) / per_group;
+  }
+
+  // Root of set s: the (s / k)-th root of group (s % k), drawn uniformly
+  // inside the group via a per-set hash (deterministic and parallel-safe).
+  std::vector<std::vector<NodeId>> members_by_group(k);
+  for (GroupId g = 0; g < k; ++g) members_by_group[g] = groups->GroupMembers(g);
+
+  set_members_.resize(total_sets);
+  set_root_group_.resize(total_sets);
+  WorldSampler sampler(graph, options.model, options.seed);
+
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Default();
+  pool.ParallelFor(
+      static_cast<size_t>(total_sets), [&](size_t begin, size_t end) {
+        std::vector<int32_t> stamp(n, 0);
+        int32_t epoch = 0;
+        std::vector<NodeId> queue;
+        for (size_t s = begin; s < end; ++s) {
+          const GroupId g = static_cast<GroupId>(s % k);
+          const auto& pool_nodes = members_by_group[g];
+          const uint64_t pick =
+              HashCombine(options.seed ^ 0xa0075ull, s);
+          const NodeId root = pool_nodes[pick % pool_nodes.size()];
+          set_root_group_[s] = g;
+
+          // Reverse τ-bounded BFS from the root over live in-edges; the
+          // world index is the set index, so each set sees fresh coins.
+          ++epoch;
+          queue.clear();
+          stamp[root] = epoch;
+          queue.push_back(root);
+          std::vector<NodeId>& out = set_members_[s];
+          out.clear();
+          out.push_back(root);
+          size_t level_begin = 0;
+          size_t level_end = queue.size();
+          int depth = 0;
+          while (level_begin < level_end && depth < options.deadline) {
+            ++depth;
+            for (size_t i = level_begin; i < level_end; ++i) {
+              const NodeId v = queue[i];
+              for (const AdjacentEdge& in_edge : graph->InEdges(v)) {
+                if (stamp[in_edge.node] == epoch) continue;
+                if (!sampler.IsLive(static_cast<uint32_t>(s),
+                                    in_edge.edge_id)) {
+                  continue;
+                }
+                stamp[in_edge.node] = epoch;
+                queue.push_back(in_edge.node);
+                out.push_back(in_edge.node);
+              }
+            }
+            level_begin = level_end;
+            level_end = queue.size();
+          }
+        }
+      });
+
+  // Inverted index for greedy selection.
+  sets_containing_.resize(n);
+  for (int s = 0; s < total_sets; ++s) {
+    for (const NodeId v : set_members_[s]) {
+      sets_containing_[v].push_back(s);
+    }
+  }
+}
+
+GroupVector RrSketch::EstimateGroupCoverage(
+    const std::vector<NodeId>& seeds) const {
+  const int k = num_groups();
+  std::vector<uint8_t> hit(set_members_.size(), 0);
+  for (const NodeId s : seeds) {
+    TCIM_CHECK(s >= 0 && s < graph_->num_nodes());
+    for (const int32_t set_id : sets_containing_[s]) hit[set_id] = 1;
+  }
+  GroupVector coverage(k, 0.0);
+  for (size_t s = 0; s < hit.size(); ++s) {
+    if (hit[s]) coverage[set_root_group_[s]] += group_weight_[set_root_group_[s]];
+  }
+  return coverage;
+}
+
+std::vector<NodeId> RrSketch::SelectSeedsBudget(
+    int budget, const std::function<double(double)>& wrap) const {
+  TCIM_CHECK(budget >= 0);
+  const NodeId n = graph_->num_nodes();
+  const int k = num_groups();
+
+  // counts[v*k + g]: uncovered sets of group g that contain v.
+  std::vector<int32_t> counts(static_cast<size_t>(n) * k, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const int32_t set_id : sets_containing_[v]) {
+      counts[static_cast<size_t>(v) * k + set_root_group_[set_id]]++;
+    }
+  }
+  std::vector<uint8_t> covered(set_members_.size(), 0);
+  GroupVector group_cov(k, 0.0);
+  std::vector<NodeId> seeds;
+  seeds.reserve(budget);
+
+  for (int iter = 0; iter < budget && iter < n; ++iter) {
+    NodeId best = -1;
+    double best_gain = -1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double gain = 0.0;
+      for (GroupId g = 0; g < k; ++g) {
+        const int32_t c = counts[static_cast<size_t>(v) * k + g];
+        if (c == 0) continue;
+        const double add = group_weight_[g] * c;
+        gain += wrap(group_cov[g] + add) - wrap(group_cov[g]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best < 0 || best_gain <= 0.0) break;
+    seeds.push_back(best);
+    // Cover best's sets; decrement counts of every member of each.
+    for (const int32_t set_id : sets_containing_[best]) {
+      if (covered[set_id]) continue;
+      covered[set_id] = 1;
+      const GroupId g = set_root_group_[set_id];
+      group_cov[g] += group_weight_[g];
+      for (const NodeId member : set_members_[set_id]) {
+        counts[static_cast<size_t>(member) * k + g]--;
+      }
+    }
+  }
+  return seeds;
+}
+
+std::vector<NodeId> RrSketch::SelectSeedsCover(double quota,
+                                               int max_seeds) const {
+  TCIM_CHECK(quota >= 0.0 && quota <= 1.0);
+  const NodeId n = graph_->num_nodes();
+  const int k = num_groups();
+
+  std::vector<int32_t> counts(static_cast<size_t>(n) * k, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const int32_t set_id : sets_containing_[v]) {
+      counts[static_cast<size_t>(v) * k + set_root_group_[set_id]]++;
+    }
+  }
+  std::vector<uint8_t> covered(set_members_.size(), 0);
+  GroupVector group_cov(k, 0.0);
+  std::vector<NodeId> seeds;
+
+  auto truncated = [&](GroupId g, double value) {
+    const double normalized = value / groups_->GroupSize(g);
+    return std::min(normalized, quota);
+  };
+  auto all_reached = [&] {
+    for (GroupId g = 0; g < k; ++g) {
+      if (truncated(g, group_cov[g]) + 1e-12 < quota) return false;
+    }
+    return true;
+  };
+
+  while (static_cast<int>(seeds.size()) < max_seeds && !all_reached()) {
+    NodeId best = -1;
+    double best_gain = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double gain = 0.0;
+      for (GroupId g = 0; g < k; ++g) {
+        const int32_t c = counts[static_cast<size_t>(v) * k + g];
+        if (c == 0) continue;
+        const double add = group_weight_[g] * c;
+        gain += truncated(g, group_cov[g] + add) - truncated(g, group_cov[g]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best < 0 || best_gain <= 1e-15) break;  // no candidate helps
+    seeds.push_back(best);
+    for (const int32_t set_id : sets_containing_[best]) {
+      if (covered[set_id]) continue;
+      covered[set_id] = 1;
+      const GroupId g = set_root_group_[set_id];
+      group_cov[g] += group_weight_[g];
+      for (const NodeId member : set_members_[set_id]) {
+        counts[static_cast<size_t>(member) * k + g]--;
+      }
+    }
+  }
+  return seeds;
+}
+
+}  // namespace tcim

@@ -1,0 +1,80 @@
+#include "sim/temporal.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sim/cascade.h"
+
+namespace tcim {
+
+TemporalWeight::TemporalWeight(std::vector<double> weights, bool is_step,
+                               std::string name)
+    : weights_(std::move(weights)),
+      horizon_(static_cast<int>(weights_.size()) - 1),
+      is_step_(is_step),
+      name_(std::move(name)) {
+  TCIM_CHECK(!weights_.empty());
+  for (size_t t = 1; t < weights_.size(); ++t) {
+    TCIM_CHECK(weights_[t] <= weights_[t - 1] + 1e-12)
+        << "temporal weights must be nonincreasing";
+  }
+  TCIM_CHECK(weights_.back() >= 0.0);
+}
+
+TemporalWeight TemporalWeight::Step(int deadline) {
+  TCIM_CHECK(deadline >= 0);
+  // Cap the table at a practical horizon; kNoDeadline would not fit and a
+  // step weight with no deadline is just "reachability", horizon n - 1 at
+  // most — callers with τ = ∞ should use the step InfluenceOracle instead.
+  TCIM_CHECK(deadline < (1 << 20))
+      << "step horizon too large for a weight table; use InfluenceOracle";
+  return TemporalWeight(std::vector<double>(deadline + 1, 1.0),
+                        /*is_step=*/true, StrFormat("step(%d)", deadline));
+}
+
+TemporalWeight TemporalWeight::ExponentialDiscount(double gamma, int horizon) {
+  TCIM_CHECK(gamma > 0.0 && gamma <= 1.0) << "gamma must be in (0,1]";
+  TCIM_CHECK(horizon >= 0 && horizon < (1 << 20));
+  std::vector<double> weights(horizon + 1);
+  double w = 1.0;
+  for (int t = 0; t <= horizon; ++t) {
+    weights[t] = w;
+    w *= gamma;
+  }
+  return TemporalWeight(
+      std::move(weights), /*is_step=*/false,
+      StrFormat("discount(%s,%d)", FormatDouble(gamma, 3).c_str(), horizon));
+}
+
+TemporalWeight TemporalWeight::LinearDecay(int horizon) {
+  TCIM_CHECK(horizon >= 1 && horizon < (1 << 20));
+  std::vector<double> weights(horizon + 1);
+  for (int t = 0; t <= horizon; ++t) {
+    weights[t] = 1.0 - static_cast<double>(t) / horizon;
+  }
+  // w(horizon) = 0 is allowed (still nonincreasing, horizon unchanged).
+  return TemporalWeight(std::move(weights), /*is_step=*/false,
+                        StrFormat("linear(%d)", horizon));
+}
+
+DelaySampler::DelaySampler(bool unit, double meeting_probability,
+                           uint64_t seed)
+    : unit_(unit), meeting_probability_(meeting_probability), seed_(seed) {
+  if (!unit_) {
+    log_one_minus_m_ = std::log1p(-meeting_probability_);
+  }
+}
+
+DelaySampler DelaySampler::Unit() {
+  return DelaySampler(/*unit=*/true, 1.0, 0);
+}
+
+DelaySampler DelaySampler::Geometric(double meeting_probability,
+                                     uint64_t seed) {
+  TCIM_CHECK(meeting_probability > 0.0 && meeting_probability <= 1.0)
+      << "meeting probability must be in (0,1]";
+  if (meeting_probability == 1.0) return Unit();
+  return DelaySampler(/*unit=*/false, meeting_probability, seed);
+}
+
+}  // namespace tcim

@@ -1,0 +1,99 @@
+// Temporal utility weights and transmission delays — the paper's stated
+// future-work direction ("more complex models of time-criticality in
+// information propagation (such as discounting with time)") plus the
+// time-delayed diffusion model of the paper's time-critical reference
+// (Chen, Lu, Zhang, AAAI'12: IC-M, where an active node only *meets* each
+// neighbor per step with a meeting probability m, so transmission takes a
+// Geometric(m) number of steps).
+//
+// A TemporalWeight maps an activation time t to a utility weight w(t) with
+// w nonincreasing and w(t) = 0 beyond a finite horizon. Nonincreasing
+// weights over earliest-arrival times keep the estimated objective monotone
+// submodular (tested in tests/arrival_oracle_test.cc), so all solvers and
+// guarantees carry over.
+
+#ifndef TCIM_SIM_TEMPORAL_H_
+#define TCIM_SIM_TEMPORAL_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace tcim {
+
+class TemporalWeight {
+ public:
+  // The paper's step utility: w(t) = 1 for t <= deadline, else 0.
+  static TemporalWeight Step(int deadline);
+
+  // Exponential discounting truncated at a horizon: w(t) = gamma^t for
+  // t <= horizon, else 0. gamma in (0, 1].
+  static TemporalWeight ExponentialDiscount(double gamma, int horizon);
+
+  // Linear decay: w(t) = max(0, 1 - t / horizon).
+  static TemporalWeight LinearDecay(int horizon);
+
+  // Largest t with w(t) > 0; propagation beyond it is worthless.
+  int horizon() const { return horizon_; }
+
+  // w(t); t must be >= 0. Zero beyond the horizon.
+  double operator()(int t) const {
+    TCIM_DCHECK(t >= 0);
+    return t <= horizon_ ? weights_[t] : 0.0;
+  }
+
+  bool IsStep() const { return is_step_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  TemporalWeight(std::vector<double> weights, bool is_step, std::string name);
+
+  std::vector<double> weights_;  // index t in [0, horizon_]
+  int horizon_;
+  bool is_step_;
+  std::string name_;
+};
+
+// Per-(world, edge) transmission delays. Classic IC has delay 1 on every
+// edge; IC-M draws delay ~ 1 + Geometric(meeting_probability) (number of
+// steps until the first successful meeting). Delays are pure functions of
+// (seed, world, edge), like live-edge coins.
+class DelaySampler {
+ public:
+  // Classic IC: every transmission takes exactly one step.
+  static DelaySampler Unit();
+
+  // IC-M with meeting probability m in (0, 1]: P(delay = k) = m(1-m)^{k-1}.
+  static DelaySampler Geometric(double meeting_probability, uint64_t seed);
+
+  // Transmission delay (>= 1) of `edge_id` in `world`, capped at `cap` so
+  // bounded traversals can bucket by time.
+  int Delay(uint32_t world, EdgeId edge_id, int cap) const {
+    if (unit_) return 1;
+    const double u = ToUnitDouble(HashCombine(
+        seed_ ^ 0xde1a7ull, HashCombine(world, static_cast<uint64_t>(edge_id))));
+    // Inverse CDF of Geometric(m) on {1, 2, ...}.
+    const int delay =
+        1 + static_cast<int>(std::floor(std::log1p(-u) / log_one_minus_m_));
+    return delay < cap ? delay : cap;
+  }
+
+  bool is_unit() const { return unit_; }
+  double meeting_probability() const { return meeting_probability_; }
+
+ private:
+  DelaySampler(bool unit, double meeting_probability, uint64_t seed);
+
+  bool unit_;
+  double meeting_probability_;
+  double log_one_minus_m_ = 0.0;
+  uint64_t seed_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_SIM_TEMPORAL_H_

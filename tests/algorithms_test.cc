@@ -1,0 +1,124 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+// Path 0 -> 1 -> 2 -> 3 plus an isolated node 4.
+Graph PathGraph() {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1, 1.0).AddEdge(1, 2, 1.0).AddEdge(2, 3, 1.0);
+  return builder.Build();
+}
+
+TEST(BfsDistancesTest, DistancesAlongPath) {
+  const Graph graph = PathGraph();
+  const std::vector<int> dist = BfsDistances(graph, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsDistancesTest, RespectsDirection) {
+  const Graph graph = PathGraph();
+  const std::vector<int> dist = BfsDistances(graph, 3);
+  EXPECT_EQ(dist[3], 0);
+  EXPECT_EQ(dist[0], kUnreachable);  // edges point forward only
+}
+
+TEST(BfsDistancesTest, MaxDepthTruncates) {
+  const Graph graph = PathGraph();
+  const std::vector<int> dist = BfsDistances(graph, 0, /*max_depth=*/2);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsDistancesTest, MultiSourceTakesNearest) {
+  const Graph graph = PathGraph();
+  const std::vector<int> dist = BfsDistances(graph, {0, 3});
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[3], 0);
+  EXPECT_EQ(dist[2], 2);
+}
+
+TEST(BfsDistancesTest, DuplicateSourcesAreFine) {
+  const Graph graph = PathGraph();
+  const std::vector<int> dist = BfsDistances(graph, {0, 0, 0});
+  EXPECT_EQ(dist[1], 1);
+}
+
+TEST(WeaklyConnectedComponentsTest, CountsComponents) {
+  const Graph graph = PathGraph();  // path of 4 + isolated node
+  int num_components = 0;
+  const std::vector<int> component =
+      WeaklyConnectedComponents(graph, &num_components);
+  EXPECT_EQ(num_components, 2);
+  EXPECT_EQ(component[0], component[3]);
+  EXPECT_NE(component[0], component[4]);
+}
+
+TEST(WeaklyConnectedComponentsTest, DirectionIgnored) {
+  GraphBuilder builder(3);
+  builder.AddEdge(1, 0, 1.0).AddEdge(1, 2, 1.0);  // star pointing out of 1
+  int num_components = 0;
+  WeaklyConnectedComponents(builder.Build(), &num_components);
+  EXPECT_EQ(num_components, 1);
+}
+
+TEST(CoreNumbersTest, CliqueHasUniformCore) {
+  GraphBuilder builder(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) builder.AddUndirectedEdge(u, v, 1.0);
+  }
+  const std::vector<int> core = CoreNumbers(builder.Build());
+  for (const int c : core) EXPECT_EQ(c, 3);
+}
+
+TEST(CoreNumbersTest, PendantVertexHasCoreOne) {
+  // Triangle {0,1,2} plus pendant 3 attached to 0.
+  GraphBuilder builder(4);
+  builder.AddUndirectedEdge(0, 1, 1.0);
+  builder.AddUndirectedEdge(1, 2, 1.0);
+  builder.AddUndirectedEdge(2, 0, 1.0);
+  builder.AddUndirectedEdge(0, 3, 1.0);
+  const std::vector<int> core = CoreNumbers(builder.Build());
+  EXPECT_EQ(core[0], 2);
+  EXPECT_EQ(core[1], 2);
+  EXPECT_EQ(core[2], 2);
+  EXPECT_EQ(core[3], 1);
+}
+
+TEST(ComputeOutDegreeStatsTest, PathStats) {
+  const DegreeStats stats = ComputeOutDegreeStats(PathGraph());
+  EXPECT_EQ(stats.min, 0);
+  EXPECT_EQ(stats.max, 1);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0 / 5.0);
+}
+
+TEST(ReachableCountTest, CountsIncludingSource) {
+  const Graph graph = PathGraph();
+  EXPECT_EQ(ReachableCount(graph, 0), 4);
+  EXPECT_EQ(ReachableCount(graph, 0, 1), 2);
+  EXPECT_EQ(ReachableCount(graph, 4), 1);
+}
+
+TEST(AlgorithmsIntegrationTest, SbmIsMostlyOneComponent) {
+  Rng rng(5);
+  SbmParams params;  // defaults give a mostly connected giant component
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  int num_components = 0;
+  const std::vector<int> component =
+      WeaklyConnectedComponents(gg.graph, &num_components);
+  std::vector<int> sizes(num_components, 0);
+  for (const int c : component) sizes[c]++;
+  EXPECT_GT(*std::max_element(sizes.begin(), sizes.end()), 400);
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,197 @@
+#include "sim/analytics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/budget.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+// Path 0 -> 1 -> 2 -> 3 with sure edges; groups {0,1} and {2,3}.
+struct PathFixture {
+  PathFixture() {
+    GraphBuilder builder(4);
+    builder.AddEdge(0, 1, 1.0).AddEdge(1, 2, 1.0).AddEdge(2, 3, 1.0);
+    graph = builder.Build();
+    groups = GroupAssignment({0, 0, 1, 1});
+  }
+  Graph graph;
+  GroupAssignment groups;
+};
+
+TEST(ArrivalCurvesTest, SurePathCurvesAreExact) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 10;
+  const ArrivalCurves curves =
+      ComputeArrivalCurves(fx.graph, fx.groups, {0}, /*horizon=*/5, options);
+  // Group 0 (nodes 0, 1): counts 1 at t=0, 2 from t=1 on.
+  EXPECT_NEAR(curves.cumulative[0][0], 1.0, 1e-9);
+  EXPECT_NEAR(curves.cumulative[0][1], 2.0, 1e-9);
+  EXPECT_NEAR(curves.cumulative[0][5], 2.0, 1e-9);
+  // Group 1 (nodes 2, 3): 0 until t=2, 1 at t=2, 2 from t=3 on.
+  EXPECT_NEAR(curves.cumulative[1][1], 0.0, 1e-9);
+  EXPECT_NEAR(curves.cumulative[1][2], 1.0, 1e-9);
+  EXPECT_NEAR(curves.cumulative[1][3], 2.0, 1e-9);
+}
+
+TEST(ArrivalCurvesTest, CurvesAreMonotone) {
+  Rng rng(3);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  OracleOptions options;
+  options.num_worlds = 40;
+  const ArrivalCurves curves = ComputeArrivalCurves(
+      gg.graph, gg.groups, {0, 100, 400}, /*horizon=*/15, options);
+  for (const auto& curve : curves.cumulative) {
+    for (size_t t = 1; t < curve.size(); ++t) {
+      EXPECT_GE(curve[t], curve[t - 1] - 1e-12);
+    }
+  }
+}
+
+TEST(ArrivalCurvesTest, MatchesOracleAtEveryDeadline) {
+  // Consistency contract: curve[g][τ] == f̂_τ(S;V_g) on the same worlds.
+  Rng rng(7);
+  SbmParams params;
+  params.num_nodes = 150;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  const std::vector<NodeId> seeds = {3, 77, 120};
+  const int horizon = 8;
+
+  OracleOptions options;
+  options.num_worlds = 30;
+  options.seed = 4242;
+  const ArrivalCurves curves =
+      ComputeArrivalCurves(gg.graph, gg.groups, seeds, horizon, options);
+
+  for (const int tau : {0, 1, 3, 8}) {
+    OracleOptions oracle_options = options;
+    oracle_options.deadline = tau;
+    InfluenceOracle oracle(&gg.graph, &gg.groups, oracle_options);
+    const GroupVector coverage = oracle.EstimateGroupCoverage(seeds);
+    for (GroupId g = 0; g < gg.groups.num_groups(); ++g) {
+      EXPECT_NEAR(curves.cumulative[g][tau], coverage[g], 1e-9)
+          << "tau=" << tau << " group=" << g;
+    }
+  }
+}
+
+TEST(ArrivalCurvesTest, TimeToReachFindsCrossing) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 5;
+  const ArrivalCurves curves =
+      ComputeArrivalCurves(fx.graph, fx.groups, {0}, 5, options);
+  EXPECT_EQ(curves.TimeToReach(0, 0.5, fx.groups), 0);   // node 0 at t=0
+  EXPECT_EQ(curves.TimeToReach(0, 1.0, fx.groups), 1);
+  EXPECT_EQ(curves.TimeToReach(1, 0.5, fx.groups), 2);
+  EXPECT_EQ(curves.TimeToReach(1, 1.0, fx.groups), 3);
+}
+
+TEST(ArrivalCurvesTest, TimeToReachUnreachableIsMinusOne) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 5;
+  const ArrivalCurves curves =
+      ComputeArrivalCurves(fx.graph, fx.groups, {3}, 5, options);
+  // Seeding the sink reaches nothing upstream.
+  EXPECT_EQ(curves.TimeToReach(0, 0.4, fx.groups), -1);
+}
+
+TEST(ArrivalCurvesTest, MajorityArrivesFasterUnderP1) {
+  // The paper's speed-inequality claim, measured: under P1 seeds, the
+  // majority's time-to-10% is (much) smaller than the minority's.
+  Rng rng(11);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  OracleOptions options;
+  options.num_worlds = 150;
+  options.deadline = 20;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  BudgetOptions budget;
+  budget.budget = 30;
+  const GreedyResult p1 = SolveTcimBudget(oracle, budget);
+
+  const ArrivalCurves curves = ComputeArrivalCurves(
+      gg.graph, gg.groups, p1.seeds, /*horizon=*/30, options);
+  const int majority_t = curves.TimeToReach(0, 0.10, gg.groups);
+  const int minority_t = curves.TimeToReach(1, 0.10, gg.groups);
+  ASSERT_GE(majority_t, 0);
+  // The minority either never reaches 10% or reaches it strictly later.
+  if (minority_t >= 0) {
+    EXPECT_GT(minority_t, majority_t);
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(ArrivalCurvesTest, CsvHasHeaderAndRows) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 4;
+  const ArrivalCurves curves =
+      ComputeArrivalCurves(fx.graph, fx.groups, {0}, 3, options);
+  const std::string csv = curves.ToCsv(fx.groups);
+  EXPECT_NE(csv.find("t,group0,group1"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);  // header + 4 rows
+}
+
+TEST(CascadeProvenanceTest, ParentsAreValid) {
+  Rng rng(5);
+  SbmParams params;
+  params.num_nodes = 120;
+  params.activation_probability = 0.3;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  const CascadeResult result = SimulateIc(gg.graph, {0, 50}, rng);
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    const NodeId parent = result.activated_by[v];
+    if (result.activation_time[v] <= 0) {
+      EXPECT_EQ(parent, -1);  // seed or never activated
+      continue;
+    }
+    ASSERT_GE(parent, 0);
+    // Parent activated exactly one step earlier and owns a real edge to v.
+    EXPECT_EQ(result.activation_time[parent],
+              result.activation_time[v] - 1);
+    bool edge_exists = false;
+    for (const AdjacentEdge& edge : gg.graph.OutEdges(parent)) {
+      if (edge.node == v) edge_exists = true;
+    }
+    EXPECT_TRUE(edge_exists) << "no edge " << parent << " -> " << v;
+  }
+}
+
+TEST(CascadeProvenanceTest, HistogramSumsToActivated) {
+  Rng rng(9);
+  SbmParams params;
+  params.num_nodes = 100;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  const CascadeResult result = SimulateIc(gg.graph, {0, 1, 2}, rng);
+  const std::vector<int> histogram = result.ActivationHistogram();
+  int total = 0;
+  for (const int count : histogram) total += count;
+  EXPECT_EQ(total, result.num_activated);
+  ASSERT_FALSE(histogram.empty());
+  EXPECT_EQ(histogram[0], 3);  // the three seeds
+}
+
+TEST(CascadeToDotTest, RendersNodesAndEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1.0).AddEdge(1, 2, 1.0);
+  const Graph graph = builder.Build();
+  const GroupAssignment groups({0, 0, 1});
+  Rng rng(1);
+  const CascadeResult result = SimulateIc(graph, {0}, rng);
+  const std::string dot = CascadeToDot(result, &groups);
+  EXPECT_NE(dot.find("digraph cascade"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"0@0\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // seed marker
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("salmon"), std::string::npos);  // group-1 color
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,312 @@
+#include "sim/arrival_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/budget.h"
+#include "graph/generators.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+namespace {
+
+// Path 0 -> 1 -> 2 -> 3 with sure edges; groups {0,1} and {2,3}.
+struct PathFixture {
+  PathFixture() {
+    GraphBuilder builder(4);
+    builder.AddEdge(0, 1, 1.0).AddEdge(1, 2, 1.0).AddEdge(2, 3, 1.0);
+    graph = builder.Build();
+    groups = GroupAssignment({0, 0, 1, 1});
+  }
+  Graph graph;
+  GroupAssignment groups;
+  ArrivalOracleOptions options;
+};
+
+TEST(ArrivalOracleTest, StepWeightMatchesInfluenceOracle) {
+  // With w = Step(τ) and unit delays, the two oracles estimate the same
+  // quantity on the same worlds — they must agree exactly.
+  Rng rng(3);
+  SbmParams params;
+  params.num_nodes = 120;
+  params.activation_probability = 0.2;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+
+  ArrivalOracleOptions arrival_options;
+  arrival_options.num_worlds = 40;
+  arrival_options.seed = 99;
+  ArrivalOracle arrival(&gg.graph, &gg.groups, TemporalWeight::Step(4),
+                        DelaySampler::Unit(), arrival_options);
+
+  OracleOptions step_options;
+  step_options.num_worlds = 40;
+  step_options.deadline = 4;
+  step_options.seed = 99;
+  InfluenceOracle step(&gg.graph, &gg.groups, step_options);
+
+  for (const NodeId seed : {7, 42, 100}) {
+    const GroupVector a = arrival.AddSeed(seed);
+    const GroupVector b = step.AddSeed(seed);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t g = 0; g < a.size(); ++g) {
+      EXPECT_NEAR(a[g], b[g], 1e-9) << "seed " << seed << " group " << g;
+    }
+  }
+}
+
+TEST(ArrivalOracleTest, SurePathArrivalTimes) {
+  PathFixture fx;
+  fx.options.num_worlds = 5;
+  ArrivalOracle oracle(&fx.graph, &fx.groups, TemporalWeight::Step(10),
+                       DelaySampler::Unit(), fx.options);
+  oracle.AddSeed(0);
+  for (uint32_t world = 0; world < 5; ++world) {
+    EXPECT_EQ(oracle.ArrivalTime(world, 0), 0);
+    EXPECT_EQ(oracle.ArrivalTime(world, 1), 1);
+    EXPECT_EQ(oracle.ArrivalTime(world, 2), 2);
+    EXPECT_EQ(oracle.ArrivalTime(world, 3), 3);
+  }
+}
+
+TEST(ArrivalOracleTest, HorizonTruncatesReach) {
+  PathFixture fx;
+  fx.options.num_worlds = 3;
+  ArrivalOracle oracle(&fx.graph, &fx.groups, TemporalWeight::Step(2),
+                       DelaySampler::Unit(), fx.options);
+  oracle.AddSeed(0);
+  for (uint32_t world = 0; world < 3; ++world) {
+    EXPECT_EQ(oracle.ArrivalTime(world, 2), 2);
+    EXPECT_EQ(oracle.ArrivalTime(world, 3), -1);  // beyond horizon
+  }
+}
+
+TEST(ArrivalOracleTest, DiscountedUtilityOnSurePath) {
+  PathFixture fx;
+  fx.options.num_worlds = 8;
+  const double gamma = 0.5;
+  ArrivalOracle oracle(&fx.graph, &fx.groups,
+                       TemporalWeight::ExponentialDiscount(gamma, 10),
+                       DelaySampler::Unit(), fx.options);
+  const GroupVector gain = oracle.AddSeed(0);
+  // Arrivals 0,1,2,3 -> weights 1, 0.5, 0.25, 0.125 split by group.
+  EXPECT_NEAR(gain[0], 1.0 + 0.5, 1e-9);
+  EXPECT_NEAR(gain[1], 0.25 + 0.125, 1e-9);
+}
+
+TEST(ArrivalOracleTest, SecondSeedImprovesArrivalTimes) {
+  PathFixture fx;
+  fx.options.num_worlds = 4;
+  const double gamma = 0.5;
+  ArrivalOracle oracle(&fx.graph, &fx.groups,
+                       TemporalWeight::ExponentialDiscount(gamma, 10),
+                       DelaySampler::Unit(), fx.options);
+  oracle.AddSeed(0);
+  // Seeding node 2 moves its arrival 2 -> 0 and node 3's 3 -> 1: the gain
+  // is exactly the weight improvement, not the full weight.
+  const GroupVector gain = oracle.AddSeed(2);
+  EXPECT_NEAR(gain[0], 0.0, 1e-9);
+  EXPECT_NEAR(gain[1], (1.0 - 0.25) + (0.5 - 0.125), 1e-9);
+  EXPECT_EQ(oracle.ArrivalTime(0, 2), 0);
+  EXPECT_EQ(oracle.ArrivalTime(0, 3), 1);
+}
+
+TEST(ArrivalOracleTest, MarginalGainMatchesAddSeed) {
+  Rng rng(5);
+  SbmParams params;
+  params.num_nodes = 100;
+  params.activation_probability = 0.15;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  ArrivalOracleOptions options;
+  options.num_worlds = 30;
+  ArrivalOracle oracle(&gg.graph, &gg.groups,
+                       TemporalWeight::ExponentialDiscount(0.8, 15),
+                       DelaySampler::Geometric(0.5, 7), options);
+  for (const NodeId seed : {3, 50, 77}) {
+    const GroupVector expected = oracle.MarginalGain(seed);
+    const GroupVector realized = oracle.AddSeed(seed);
+    for (size_t g = 0; g < expected.size(); ++g) {
+      EXPECT_NEAR(expected[g], realized[g], 1e-9);
+    }
+  }
+}
+
+TEST(ArrivalOracleTest, ResetRestoresInitialState) {
+  PathFixture fx;
+  fx.options.num_worlds = 4;
+  ArrivalOracle oracle(&fx.graph, &fx.groups, TemporalWeight::Step(5),
+                       DelaySampler::Unit(), fx.options);
+  oracle.AddSeed(0);
+  oracle.Reset();
+  EXPECT_TRUE(oracle.seeds().empty());
+  EXPECT_NEAR(oracle.total_coverage(), 0.0, 1e-12);
+  EXPECT_EQ(oracle.ArrivalTime(0, 0), -1);
+  const GroupVector gain = oracle.AddSeed(0);
+  EXPECT_NEAR(GroupVectorTotal(gain), 4.0, 1e-9);
+}
+
+TEST(ArrivalOracleTest, GeometricDelaysSlowTheCascade) {
+  // With IC-M meeting delays, far nodes arrive later, so a tight horizon
+  // yields strictly less utility than with unit delays.
+  Rng rng(9);
+  SbmParams params;
+  params.num_nodes = 150;
+  params.activation_probability = 0.3;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  ArrivalOracleOptions options;
+  options.num_worlds = 60;
+
+  ArrivalOracle fast(&gg.graph, &gg.groups, TemporalWeight::Step(4),
+                     DelaySampler::Unit(), options);
+  ArrivalOracle slow(&gg.graph, &gg.groups, TemporalWeight::Step(4),
+                     DelaySampler::Geometric(0.3, 5), options);
+  const double fast_total = GroupVectorTotal(fast.AddSeed(0));
+  const double slow_total = GroupVectorTotal(slow.AddSeed(0));
+  EXPECT_LT(slow_total, fast_total);
+  EXPECT_GE(slow_total, 1.0 - 1e-9);  // the seed itself always counts
+}
+
+TEST(ArrivalOracleTest, CrossValidatedAgainstBellmanFord) {
+  // Independent implementation: per world, compute delay-shortest-path
+  // arrival times by Bellman-Ford over live edges and compare.
+  Rng rng(13);
+  SbmParams params;
+  params.num_nodes = 60;
+  params.p_hom = 0.1;
+  params.p_het = 0.04;
+  params.activation_probability = 0.4;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  const int horizon = 6;
+  ArrivalOracleOptions options;
+  options.num_worlds = 20;
+  options.seed = 555;
+  const DelaySampler delays = DelaySampler::Geometric(0.5, 777);
+  ArrivalOracle oracle(&gg.graph, &gg.groups, TemporalWeight::Step(horizon),
+                       delays, options);
+  const std::vector<NodeId> seeds = {0, 30};
+  for (const NodeId s : seeds) oracle.AddSeed(s);
+
+  WorldSampler sampler(&gg.graph, DiffusionModel::kIndependentCascade, 555);
+  for (uint32_t world = 0; world < 20; ++world) {
+    const int kInf = 1 << 20;
+    std::vector<int> dist(gg.graph.num_nodes(), kInf);
+    for (const NodeId s : seeds) dist[s] = 0;
+    // Bellman-Ford relaxation until fixpoint.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+        if (dist[v] >= kInf) continue;
+        for (const AdjacentEdge& edge : gg.graph.OutEdges(v)) {
+          if (!sampler.IsLive(world, edge.edge_id)) continue;
+          const int nt =
+              dist[v] + delays.Delay(world, edge.edge_id, horizon + 1);
+          if (nt < dist[edge.node]) {
+            dist[edge.node] = nt;
+            changed = true;
+          }
+        }
+      }
+    }
+    for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+      const int expected = dist[v] <= horizon ? dist[v] : -1;
+      EXPECT_EQ(oracle.ArrivalTime(world, v), expected)
+          << "world " << world << " node " << v;
+    }
+  }
+}
+
+TEST(ArrivalOracleTest, WorksWithGreedySolvers) {
+  // The whole point of the oracle interface: P1/P4 run unchanged on the
+  // discounted-utility oracle.
+  Rng rng(17);
+  SbmParams params;  // paper defaults: imbalanced two-group SBM
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  ArrivalOracleOptions options;
+  options.num_worlds = 60;
+  ArrivalOracle oracle(&gg.graph, &gg.groups,
+                       TemporalWeight::ExponentialDiscount(0.7, 20),
+                       DelaySampler::Unit(), options);
+
+  BudgetOptions budget;
+  budget.budget = 15;
+  const GreedyResult p1 = SolveTcimBudget(oracle, budget);
+  EXPECT_EQ(p1.seeds.size(), 15u);
+
+  const GreedyResult p4 =
+      SolveFairTcimBudget(oracle, ConcaveFunction::Log(), budget);
+  // Disparity in *discounted* per-capita utility: P4 lower than P1.
+  auto disparity = [&](const GroupVector& cov) {
+    return std::abs(cov[0] / gg.groups.GroupSize(0) -
+                    cov[1] / gg.groups.GroupSize(1));
+  };
+  EXPECT_LT(disparity(p4.coverage), disparity(p1.coverage) + 1e-9);
+}
+
+// Property sweep: the discounted estimate must be monotone and submodular
+// on fixed worlds (nonincreasing weights over min-arrival times).
+class ArrivalLawsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArrivalLawsTest, MonotoneAndSubmodular) {
+  const int config = GetParam();
+  Rng rng(3000 + config);
+  SbmParams params;
+  params.num_nodes = 60;
+  params.p_hom = 0.08;
+  params.p_het = 0.03;
+  params.activation_probability = 0.35;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+
+  ArrivalOracleOptions options;
+  options.num_worlds = 15;
+  options.seed = 100 + config;
+  const TemporalWeight weight =
+      (config % 3 == 0)   ? TemporalWeight::Step(3)
+      : (config % 3 == 1) ? TemporalWeight::ExponentialDiscount(0.6, 8)
+                          : TemporalWeight::LinearDecay(6);
+  const DelaySampler delays = (config % 2 == 0)
+                                  ? DelaySampler::Unit()
+                                  : DelaySampler::Geometric(0.5, 42 + config);
+
+  auto value = [&](const std::vector<NodeId>& seeds) {
+    ArrivalOracle oracle(&gg.graph, &gg.groups, weight, delays, options);
+    for (const NodeId s : seeds) oracle.AddSeed(s);
+    return oracle.total_coverage();
+  };
+
+  Rng pick(4000 + config);
+  std::vector<NodeId> small, large;
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    const double coin = pick.NextDouble();
+    if (coin < 0.08) small.push_back(v);
+    if (coin < 0.20) large.push_back(v);
+  }
+  NodeId extra = -1;
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    if (std::find(large.begin(), large.end(), v) == large.end()) {
+      extra = v;
+      break;
+    }
+  }
+  ASSERT_GE(extra, 0);
+
+  const double f_small = value(small);
+  const double f_large = value(large);
+  EXPECT_LE(f_small, f_large + 1e-9);
+
+  auto with = [](std::vector<NodeId> base, NodeId v) {
+    base.push_back(v);
+    return base;
+  };
+  const double gain_small = value(with(small, extra)) - f_small;
+  const double gain_large = value(with(large, extra)) - f_large;
+  EXPECT_GE(gain_small, gain_large - 1e-9);
+  EXPECT_GE(gain_large, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ArrivalLawsTest, ::testing::Range(0, 18));
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,130 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+Graph StarPlusPath() {
+  // Node 0: degree 4; nodes 5,6,7 form a path.
+  GraphBuilder builder(8);
+  for (NodeId v = 1; v <= 4; ++v) builder.AddUndirectedEdge(0, v, 0.5);
+  builder.AddUndirectedEdge(5, 6, 0.5);
+  builder.AddUndirectedEdge(6, 7, 0.5);
+  return builder.Build();
+}
+
+TEST(TopDegreeSeedsTest, PicksHighestDegreeFirst) {
+  const std::vector<NodeId> seeds = TopDegreeSeeds(StarPlusPath(), 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 0);  // degree 4
+  EXPECT_EQ(seeds[1], 6);  // degree 2
+}
+
+TEST(RandomSeedsTest, DistinctAndInRange) {
+  const Graph graph = StarPlusPath();
+  Rng rng(5);
+  const std::vector<NodeId> seeds = RandomSeeds(graph, 5, rng);
+  std::set<NodeId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (const NodeId s : seeds) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, graph.num_nodes());
+  }
+}
+
+TEST(RandomSeedsTest, FullBudgetIsPermutation) {
+  const Graph graph = StarPlusPath();
+  Rng rng(9);
+  const std::vector<NodeId> seeds = RandomSeeds(graph, 8, rng);
+  std::set<NodeId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(PageRankSeedsTest, StarCenterFirst) {
+  const std::vector<NodeId> seeds = PageRankSeeds(StarPlusPath(), 1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0);
+}
+
+TEST(GroupProportionalDegreeSeedsTest, EveryGroupRepresented) {
+  Rng rng(3);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  const std::vector<NodeId> seeds =
+      GroupProportionalDegreeSeeds(gg.graph, gg.groups, 10);
+  EXPECT_EQ(seeds.size(), 10u);
+  std::set<GroupId> groups_hit;
+  for (const NodeId s : seeds) groups_hit.insert(gg.groups.GroupOf(s));
+  EXPECT_EQ(groups_hit.size(), 2u);
+}
+
+TEST(GroupProportionalDegreeSeedsTest, SlotsRoughlyProportional) {
+  Rng rng(3);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);  // 70/30 split
+  const std::vector<NodeId> seeds =
+      GroupProportionalDegreeSeeds(gg.graph, gg.groups, 20);
+  int minority = 0;
+  for (const NodeId s : seeds) {
+    if (gg.groups.GroupOf(s) == 1) ++minority;
+  }
+  EXPECT_GE(minority, 4);  // ~30% of 20 = 6, allow rounding slack
+  EXPECT_LE(minority, 8);
+}
+
+TEST(TopDegreeSeedsTest, BudgetLargerThanGraph) {
+  const std::vector<NodeId> seeds = TopDegreeSeeds(StarPlusPath(), 100);
+  EXPECT_EQ(seeds.size(), 8u);
+}
+
+TEST(DegreeDiscountSeedsTest, FirstPickIsTopDegree) {
+  const std::vector<NodeId> seeds = DegreeDiscountSeeds(StarPlusPath(), 1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0);
+}
+
+TEST(DegreeDiscountSeedsTest, AvoidsClusteredSeeds) {
+  // A 4-clique plus a separate edge pair: raw degree picks two clique
+  // members; degree-discount spreads to the pair after one clique pick.
+  GraphBuilder builder(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) builder.AddUndirectedEdge(u, v, 0.5);
+  }
+  builder.AddUndirectedEdge(4, 5, 0.5);
+  const Graph graph = builder.Build();
+
+  const std::vector<NodeId> discount = DegreeDiscountSeeds(graph, 2);
+  ASSERT_EQ(discount.size(), 2u);
+  // Second pick must leave the clique: a clique neighbor's score drops to
+  // d - 2t - (d-t)tp = 3 - 2 - 2*0.5 = 0 < 1 (the pair nodes).
+  EXPECT_LT(discount[0], 4);
+  EXPECT_GE(discount[1], 4);
+
+  const std::vector<NodeId> raw = TopDegreeSeeds(graph, 2);
+  EXPECT_LT(raw[1], 4);  // raw degree stays in the clique
+}
+
+TEST(DegreeDiscountSeedsTest, DistinctSeeds) {
+  Rng rng(3);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  const std::vector<NodeId> seeds = DegreeDiscountSeeds(gg.graph, 25);
+  std::set<NodeId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 25u);
+}
+
+TEST(DegreeDiscountSeedsTest, BudgetBeyondNodesReturnsAll) {
+  EXPECT_EQ(DegreeDiscountSeeds(StarPlusPath(), 100).size(), 8u);
+}
+
+TEST(RandomSeedsDeathTest, BudgetBeyondNodesAborts) {
+  const Graph graph = StarPlusPath();
+  Rng rng(1);
+  EXPECT_DEATH(RandomSeeds(graph, 9, rng), "budget");
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,164 @@
+#include "sim/cascade.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+// Deterministic path 0 -> 1 -> 2 -> 3 (all probabilities 1).
+Graph SurePath() {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0).AddEdge(1, 2, 1.0).AddEdge(2, 3, 1.0);
+  return builder.Build();
+}
+
+TEST(SimulateIcTest, SureEdgesActivateEverythingWithHopTimes) {
+  const Graph graph = SurePath();
+  Rng rng(1);
+  const CascadeResult result = SimulateIc(graph, {0}, rng);
+  EXPECT_EQ(result.num_activated, 4);
+  EXPECT_EQ(result.activation_time[0], 0);
+  EXPECT_EQ(result.activation_time[1], 1);
+  EXPECT_EQ(result.activation_time[2], 2);
+  EXPECT_EQ(result.activation_time[3], 3);
+}
+
+TEST(SimulateIcTest, ZeroProbabilityNeverSpreads) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.0);
+  Rng rng(2);
+  const CascadeResult result = SimulateIc(builder.Build(), {0}, rng);
+  EXPECT_EQ(result.num_activated, 1);
+  EXPECT_EQ(result.activation_time[1], -1);
+}
+
+TEST(SimulateIcTest, SeedsActivateAtTimeZero) {
+  const Graph graph = SurePath();
+  Rng rng(3);
+  const CascadeResult result = SimulateIc(graph, {2, 0}, rng);
+  EXPECT_EQ(result.activation_time[0], 0);
+  EXPECT_EQ(result.activation_time[2], 0);
+  EXPECT_EQ(result.activation_time[3], 1);  // from seed 2
+}
+
+TEST(SimulateIcTest, DuplicateSeedsCountedOnce) {
+  const Graph graph = SurePath();
+  Rng rng(4);
+  const CascadeResult result = SimulateIc(graph, {0, 0}, rng);
+  EXPECT_EQ(result.activation_time[0], 0);
+  EXPECT_EQ(result.num_activated, 4);
+}
+
+TEST(SimulateIcTest, ActivationFrequencyMatchesEdgeProbability) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.3);
+  const Graph graph = builder.Build();
+  Rng rng(5);
+  int activated = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (SimulateIc(graph, {0}, rng).activation_time[1] >= 0) ++activated;
+  }
+  EXPECT_NEAR(static_cast<double>(activated) / trials, 0.3, 0.01);
+}
+
+TEST(SimulateIcTest, EachEdgeTriesOnlyOnce) {
+  // Two parallel edges 0->1 with p=0.5: activation prob = 1-(0.5)^2 = 0.75.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.5);
+  builder.AddEdge(0, 1, 0.5);
+  const Graph graph = builder.Build();
+  Rng rng(6);
+  int activated = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (SimulateIc(graph, {0}, rng).activation_time[1] >= 0) ++activated;
+  }
+  EXPECT_NEAR(static_cast<double>(activated) / trials, 0.75, 0.01);
+}
+
+TEST(SimulateLtTest, SureWeightCascades) {
+  // Weight 1.0 in-edge guarantees activation (threshold < 1 always).
+  const Graph graph = SurePath();
+  Rng rng(7);
+  const CascadeResult result = SimulateLt(graph, {0}, rng);
+  EXPECT_EQ(result.num_activated, 4);
+  EXPECT_EQ(result.activation_time[3], 3);
+}
+
+TEST(SimulateLtTest, ActivationProbabilityEqualsWeight) {
+  // Single in-edge with weight w: P[θ <= w] = w.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.4);
+  const Graph graph = builder.Build();
+  Rng rng(8);
+  int activated = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (SimulateLt(graph, {0}, rng).activation_time[1] >= 0) ++activated;
+  }
+  EXPECT_NEAR(static_cast<double>(activated) / trials, 0.4, 0.01);
+}
+
+TEST(SimulateLtTest, WeightsAccumulateAcrossNeighbors) {
+  // Both 0 and 1 seed; node 2 has in-weights 0.5 + 0.5 = 1.0 -> always fires.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2, 0.5);
+  builder.AddEdge(1, 2, 0.5);
+  const Graph graph = builder.Build();
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(SimulateLt(graph, {0, 1}, rng).activation_time[2], 0);
+  }
+}
+
+TEST(SimulateInWorldTest, MatchesLiveEdgeStructure) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 0.5);
+  builder.AddEdge(1, 2, 0.5);
+  const Graph graph = builder.Build();
+  WorldSampler sampler(&graph, DiffusionModel::kIndependentCascade, 99);
+  for (uint32_t world = 0; world < 200; ++world) {
+    const CascadeResult result = SimulateInWorld(graph, {0}, sampler, world);
+    const bool edge01 = sampler.IsLive(world, graph.OutEdges(0)[0].edge_id);
+    const bool edge12 = sampler.IsLive(world, graph.OutEdges(1)[0].edge_id);
+    EXPECT_EQ(result.activation_time[1] >= 0, edge01);
+    EXPECT_EQ(result.activation_time[2] >= 0, edge01 && edge12);
+  }
+}
+
+TEST(SimulateInWorldTest, MaxTimeTruncatesPropagation) {
+  const Graph graph = SurePath();
+  WorldSampler sampler(&graph, DiffusionModel::kIndependentCascade, 1);
+  const CascadeResult result =
+      SimulateInWorld(graph, {0}, sampler, 0, /*max_time=*/2);
+  EXPECT_EQ(result.activation_time[2], 2);
+  EXPECT_EQ(result.activation_time[3], -1);
+}
+
+TEST(SimulateInWorldTest, IsDeterministicPerWorld) {
+  const Graph graph = SurePath();
+  WorldSampler sampler(&graph, DiffusionModel::kIndependentCascade, 10);
+  const CascadeResult a = SimulateInWorld(graph, {0}, sampler, 5);
+  const CascadeResult b = SimulateInWorld(graph, {0}, sampler, 5);
+  EXPECT_EQ(a.activation_time, b.activation_time);
+}
+
+TEST(CascadeResultTest, CountActivatedByDeadline) {
+  CascadeResult result;
+  result.activation_time = {0, 1, 3, -1, 2};
+  EXPECT_EQ(result.CountActivatedBy(0), 1);
+  EXPECT_EQ(result.CountActivatedBy(2), 3);
+  EXPECT_EQ(result.CountActivatedBy(kNoDeadline), 4);
+}
+
+TEST(SimulateIcDeathTest, SeedOutOfRangeAborts) {
+  const Graph graph = SurePath();
+  Rng rng(1);
+  EXPECT_DEATH(SimulateIc(graph, {99}, rng), "seed out of range");
+}
+
+}  // namespace
+}  // namespace tcim

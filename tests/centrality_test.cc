@@ -1,0 +1,97 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+// Star with center 0 and leaves 1..4 (undirected).
+Graph StarGraph() {
+  GraphBuilder builder(5);
+  for (NodeId v = 1; v < 5; ++v) builder.AddUndirectedEdge(0, v, 0.5);
+  return builder.Build();
+}
+
+TEST(DegreeCentralityTest, StarCenterDominates) {
+  const std::vector<double> scores = DegreeCentrality(StarGraph());
+  EXPECT_DOUBLE_EQ(scores[0], 4.0);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(scores[v], 1.0);
+}
+
+TEST(PageRankTest, SumsToOne) {
+  const std::vector<double> rank = PageRank(StarGraph());
+  const double total = std::accumulate(rank.begin(), rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, StarCenterHasHighestRank) {
+  const std::vector<double> rank = PageRank(StarGraph());
+  for (NodeId v = 1; v < 5; ++v) EXPECT_GT(rank[0], rank[v]);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  GraphBuilder builder(4);
+  for (NodeId v = 0; v < 4; ++v) {
+    builder.AddEdge(v, (v + 1) % 4, 0.5);
+  }
+  const std::vector<double> rank = PageRank(builder.Build());
+  for (const double r : rank) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, DanglingNodesHandled) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 0.5).AddEdge(0, 2, 0.5);  // 1, 2 are sinks
+  const std::vector<double> rank = PageRank(builder.Build());
+  const double total = std::accumulate(rank.begin(), rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(rank[1], rank[0]);  // sinks absorb the source's mass
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  EXPECT_TRUE(PageRank(GraphBuilder(0).Build()).empty());
+}
+
+TEST(SampledHarmonicClosenessTest, StarCenterWins) {
+  // Exact harmonic in-closeness: center 4.0, each leaf 2.5; with enough
+  // pivot samples the estimate must preserve that ordering.
+  Rng rng(3);
+  const std::vector<double> scores =
+      SampledHarmonicCloseness(StarGraph(), 400, rng);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_GT(scores[0], scores[v]);
+  EXPECT_NEAR(scores[0], 4.0, 0.8);
+  EXPECT_NEAR(scores[1], 2.5, 0.8);
+}
+
+TEST(SampledHarmonicClosenessTest, DisconnectedNodeScoresZero) {
+  GraphBuilder builder(3);
+  builder.AddUndirectedEdge(0, 1, 0.5);  // node 2 isolated
+  Rng rng(7);
+  const std::vector<double> scores =
+      SampledHarmonicCloseness(builder.Build(), 3, rng);
+  EXPECT_DOUBLE_EQ(scores[2], 0.0);
+}
+
+TEST(TopKByScoreTest, PicksLargest) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  EXPECT_EQ(TopKByScore(scores, 2), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(TopKByScoreTest, TieBreaksBySmallerId) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  EXPECT_EQ(TopKByScore(scores, 2), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(TopKByScoreTest, KLargerThanNReturnsAll) {
+  const std::vector<double> scores = {0.3, 0.1};
+  EXPECT_EQ(TopKByScore(scores, 10).size(), 2u);
+}
+
+TEST(TopKByScoreTest, ZeroK) {
+  EXPECT_TRUE(TopKByScore({1.0, 2.0}, 0).empty());
+}
+
+}  // namespace
+}  // namespace tcim

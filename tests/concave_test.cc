@@ -1,0 +1,139 @@
+#include "core/concave.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(ConcaveFunctionTest, IdentityIsIdentity) {
+  const ConcaveFunction h = ConcaveFunction::Identity();
+  EXPECT_DOUBLE_EQ(h(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h(3.7), 3.7);
+  EXPECT_EQ(h.name(), "identity");
+}
+
+TEST(ConcaveFunctionTest, LogIsLog1p) {
+  const ConcaveFunction h = ConcaveFunction::Log();
+  EXPECT_DOUBLE_EQ(h(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h(std::exp(1.0) - 1.0), 1.0);
+  EXPECT_EQ(h.name(), "log");
+}
+
+TEST(ConcaveFunctionTest, SqrtValues) {
+  const ConcaveFunction h = ConcaveFunction::Sqrt();
+  EXPECT_DOUBLE_EQ(h(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h(9.0), 3.0);
+  EXPECT_EQ(h.name(), "sqrt");
+}
+
+TEST(ConcaveFunctionTest, PowerValues) {
+  const ConcaveFunction h = ConcaveFunction::Power(0.25);
+  EXPECT_DOUBLE_EQ(h(16.0), 2.0);
+  EXPECT_EQ(h.name(), "power(0.25)");
+}
+
+TEST(ConcaveFunctionDeathTest, PowerRejectsBadAlpha) {
+  EXPECT_DEATH(ConcaveFunction::Power(0.0), "exponent");
+  EXPECT_DEATH(ConcaveFunction::Power(1.5), "exponent");
+}
+
+TEST(ConcaveFunctionTest, AlphaFairSpecialCases) {
+  // α = 0 is utilitarian (identity); α = 1 is proportional fairness (log).
+  EXPECT_EQ(ConcaveFunction::AlphaFair(0.0).name(), "identity");
+  EXPECT_EQ(ConcaveFunction::AlphaFair(1.0).name(), "log");
+  EXPECT_EQ(ConcaveFunction::AlphaFair(2.0).name(), "alpha_fair(2)");
+}
+
+TEST(ConcaveFunctionTest, AlphaFairValues) {
+  // α = 2: ((1+z)^{-1} - 1) / (-1) = 1 - 1/(1+z) = z/(1+z).
+  const ConcaveFunction h = ConcaveFunction::AlphaFair(2.0);
+  EXPECT_DOUBLE_EQ(h(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(h(3.0), 0.75);
+}
+
+TEST(ConcaveFunctionTest, AlphaFairCurvatureGrowsWithAlpha) {
+  // Larger α -> relatively less marginal value at large z.
+  const ConcaveFunction mild = ConcaveFunction::AlphaFair(0.5);
+  const ConcaveFunction harsh = ConcaveFunction::AlphaFair(3.0);
+  const double z = 50.0;
+  const double mild_ratio =
+      (mild(z + 1) - mild(z)) / (mild(1) - mild(0));
+  const double harsh_ratio =
+      (harsh(z + 1) - harsh(z)) / (harsh(1) - harsh(0));
+  EXPECT_LT(harsh_ratio, mild_ratio);
+}
+
+TEST(ConcaveFunctionDeathTest, AlphaFairRejectsNegativeAlpha) {
+  EXPECT_DEATH(ConcaveFunction::AlphaFair(-0.5), "alpha");
+}
+
+// Parameterized law checks: every wrapper must be nondecreasing and concave
+// (diminishing differences) on a grid — these are the properties Theorem 1
+// and the P4 surrogate rely on.
+class ConcaveLawsTest : public ::testing::TestWithParam<int> {
+ protected:
+  ConcaveFunction Function() const {
+    switch (GetParam()) {
+      case 0:
+        return ConcaveFunction::Identity();
+      case 1:
+        return ConcaveFunction::Log();
+      case 2:
+        return ConcaveFunction::Sqrt();
+      case 3:
+        return ConcaveFunction::Power(0.25);
+      case 4:
+        return ConcaveFunction::Power(0.75);
+      case 5:
+        return ConcaveFunction::AlphaFair(0.5);
+      case 6:
+        return ConcaveFunction::AlphaFair(2.0);
+      default:
+        return ConcaveFunction::AlphaFair(4.0);
+    }
+  }
+};
+
+TEST_P(ConcaveLawsTest, NonDecreasing) {
+  const ConcaveFunction h = Function();
+  double previous = h(0.0);
+  for (double z = 0.1; z < 50.0; z += 0.1) {
+    const double current = h(z);
+    EXPECT_GE(current, previous - 1e-12) << "at z=" << z;
+    previous = current;
+  }
+}
+
+TEST_P(ConcaveLawsTest, DiminishingDifferences) {
+  const ConcaveFunction h = Function();
+  const double delta = 0.5;
+  for (double z = 0.0; z < 40.0; z += 0.7) {
+    const double gain_here = h(z + delta) - h(z);
+    const double gain_later = h(z + 5.0 + delta) - h(z + 5.0);
+    EXPECT_GE(gain_here, gain_later - 1e-12) << "at z=" << z;
+  }
+}
+
+TEST_P(ConcaveLawsTest, NonNegativeAtZero) {
+  EXPECT_GE(Function()(0.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWrappers, ConcaveLawsTest, ::testing::Range(0, 8));
+
+TEST(ConcaveCurvatureTest, LogHasHigherCurvatureThanSqrt) {
+  // Curvature ordering drives the fairness/influence trade-off: relative
+  // marginal value at large z must be smallest for log.
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  const ConcaveFunction sqrt_h = ConcaveFunction::Sqrt();
+  const double z = 100.0;
+  const double log_ratio = (log_h(z + 1) - log_h(z)) / (log_h(1) - log_h(0));
+  const double sqrt_ratio =
+      (sqrt_h(z + 1) - sqrt_h(z)) / (sqrt_h(1) - sqrt_h(0));
+  EXPECT_LT(log_ratio, sqrt_ratio);
+}
+
+}  // namespace
+}  // namespace tcim

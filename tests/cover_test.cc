@@ -1,0 +1,134 @@
+#include "core/cover.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/fairness.h"
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+class CoverSolverTest : public ::testing::Test {
+ protected:
+  CoverSolverTest() : gg_(MakeGraph()) {
+    options_.num_worlds = 100;
+    options_.deadline = 20;
+  }
+  static GroupedGraph MakeGraph() {
+    Rng rng(88);
+    return datasets::SyntheticDefault(rng);
+  }
+
+  GroupedGraph gg_;
+  OracleOptions options_;
+};
+
+TEST_F(CoverSolverTest, TcimCoverReachesTotalQuota) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  CoverOptions cover;
+  cover.quota = 0.2;
+  const GreedyResult result = SolveTcimCover(oracle, cover);
+  EXPECT_TRUE(result.target_reached);
+  EXPECT_GE(GroupVectorTotal(result.coverage) / gg_.graph.num_nodes(),
+            0.2 - 1e-9);
+}
+
+TEST_F(CoverSolverTest, FairCoverReachesEveryGroupQuota) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  CoverOptions cover;
+  cover.quota = 0.2;
+  const GreedyResult result = SolveFairTcimCover(oracle, cover);
+  EXPECT_TRUE(result.target_reached);
+  for (GroupId g = 0; g < gg_.groups.num_groups(); ++g) {
+    EXPECT_GE(result.coverage[g] / gg_.groups.GroupSize(g), 0.2 - 1e-9)
+        << "group " << g;
+  }
+}
+
+TEST_F(CoverSolverTest, PlainCoverMayMissMinorityFairCoverDoesNot) {
+  // The Fig-6b phenomenon: P2 satisfies the aggregate quota mostly from the
+  // majority; P6 brings the minority up to quota too.
+  CoverOptions cover;
+  cover.quota = 0.2;
+  InfluenceOracle oracle_p2(&gg_.graph, &gg_.groups, options_);
+  const GreedyResult p2 = SolveTcimCover(oracle_p2, cover);
+  InfluenceOracle oracle_p6(&gg_.graph, &gg_.groups, options_);
+  const GreedyResult p6 = SolveFairTcimCover(oracle_p6, cover);
+
+  const double p2_minority = p2.coverage[1] / gg_.groups.GroupSize(1);
+  const double p6_minority = p6.coverage[1] / gg_.groups.GroupSize(1);
+  EXPECT_LT(p2_minority, 0.2);  // plain cover underserves the minority
+  EXPECT_GE(p6_minority, 0.2 - 1e-9);
+}
+
+TEST_F(CoverSolverTest, FairCoverNeedsAtLeastAsManySeeds) {
+  CoverOptions cover;
+  cover.quota = 0.2;
+  InfluenceOracle oracle_p2(&gg_.graph, &gg_.groups, options_);
+  const GreedyResult p2 = SolveTcimCover(oracle_p2, cover);
+  InfluenceOracle oracle_p6(&gg_.graph, &gg_.groups, options_);
+  const GreedyResult p6 = SolveFairTcimCover(oracle_p6, cover);
+  EXPECT_GE(p6.seeds.size(), p2.seeds.size());
+  // ... but the paper's point: the surcharge is small, not catastrophic.
+  EXPECT_LE(p6.seeds.size(), p2.seeds.size() + 30);
+}
+
+TEST_F(CoverSolverTest, FeasibleFairSolutionBoundsDisparity) {
+  // Theorem-2 corollary: any feasible P6 solution has disparity <= 1 - Q.
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  CoverOptions cover;
+  cover.quota = 0.25;
+  const GreedyResult result = SolveFairTcimCover(oracle, cover);
+  ASSERT_TRUE(result.target_reached);
+  const GroupUtilityReport report =
+      MakeGroupUtilityReport(result.coverage, gg_.groups);
+  EXPECT_LE(report.disparity, 1.0 - cover.quota + 1e-9);
+}
+
+TEST_F(CoverSolverTest, HigherQuotaNeedsMoreSeeds) {
+  CoverOptions low;
+  low.quota = 0.1;
+  CoverOptions high;
+  high.quota = 0.3;
+  InfluenceOracle oracle_a(&gg_.graph, &gg_.groups, options_);
+  const size_t low_size = SolveFairTcimCover(oracle_a, low).seeds.size();
+  InfluenceOracle oracle_b(&gg_.graph, &gg_.groups, options_);
+  const size_t high_size = SolveFairTcimCover(oracle_b, high).seeds.size();
+  EXPECT_GE(high_size, low_size);
+}
+
+TEST_F(CoverSolverTest, MaxSeedsCapRespected) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  CoverOptions cover;
+  cover.quota = 0.9;   // unreachable at pe = 0.05
+  cover.max_seeds = 7;
+  const GreedyResult result = SolveTcimCover(oracle, cover);
+  EXPECT_LE(result.seeds.size(), 7u);
+  EXPECT_FALSE(result.target_reached);
+}
+
+TEST_F(CoverSolverTest, ZeroQuotaNeedsNoSeeds) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  CoverOptions cover;
+  cover.quota = 0.0;
+  const GreedyResult result = SolveFairTcimCover(oracle, cover);
+  EXPECT_TRUE(result.target_reached);
+  EXPECT_TRUE(result.seeds.empty());
+}
+
+TEST_F(CoverSolverTest, TraceObjectiveIsMonotone) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  CoverOptions cover;
+  cover.quota = 0.2;
+  const GreedyResult result = SolveFairTcimCover(oracle, cover);
+  double last = 0.0;
+  for (const GreedyStep& step : result.trace) {
+    EXPECT_GE(step.objective_value, last - 1e-12);
+    last = step.objective_value;
+  }
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,85 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+
+namespace tcim {
+namespace {
+
+TEST(CsvWriterTest, HeaderOnly) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_EQ(csv.ToString(), "a,b\n");
+  EXPECT_EQ(csv.num_rows(), 0u);
+}
+
+TEST(CsvWriterTest, SimpleRows) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"3", "4"});
+  EXPECT_EQ(csv.ToString(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(csv.num_rows(), 2u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"field"});
+  csv.AddRow({"has,comma"});
+  csv.AddRow({"has\"quote"});
+  csv.AddRow({"has\nnewline"});
+  EXPECT_EQ(csv.ToString(),
+            "field\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriterTest, NumericRowFormatsDoubles) {
+  CsvWriter csv({"a", "b"});
+  csv.AddNumericRow({0.25, 3.0});
+  EXPECT_EQ(csv.ToString(), "a,b\n0.25,3\n");
+}
+
+TEST(CsvWriterDeathTest, ArityMismatchAborts) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_DEATH(csv.AddRow({"only one"}), "arity");
+}
+
+TEST(CsvWriterTest, WriteToFileRoundTrips) {
+  CsvWriter csv({"k", "v"});
+  csv.AddRow({"alpha", "1"});
+  const std::string path = testing::TempDir() + "/tcim_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  const auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "k,v\nalpha,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter csv({"a"});
+  EXPECT_FALSE(csv.WriteToFile("/nonexistent_dir_xyz/file.csv").ok());
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table("Title", {"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("== Title =="), std::string::npos);
+  EXPECT_NE(rendered.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(rendered.find("| x      | 1     |"), std::string::npos);
+  EXPECT_NE(rendered.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTitleOmitsHeaderLine) {
+  TablePrinter table("", {"a"});
+  EXPECT_EQ(table.ToString().find("=="), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, ArityMismatchAborts) {
+  TablePrinter table("t", {"a", "b"});
+  EXPECT_DEATH(table.AddRow({"1", "2", "3"}), "arity");
+}
+
+}  // namespace
+}  // namespace tcim

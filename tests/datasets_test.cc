@@ -1,0 +1,121 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace tcim {
+namespace {
+
+TEST(SyntheticDefaultTest, MatchesPaperParameters) {
+  Rng rng(1);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  EXPECT_EQ(gg.graph.num_nodes(), 500);
+  EXPECT_EQ(gg.groups.num_groups(), 2);
+  EXPECT_EQ(gg.groups.GroupSize(0), 350);
+  EXPECT_EQ(gg.groups.GroupSize(1), 150);
+  for (EdgeId e = 0; e < gg.graph.num_edges(); ++e) {
+    EXPECT_NEAR(gg.graph.EdgeProbability(e), 0.05, 1e-6);
+  }
+}
+
+TEST(IllustrativeGraphTest, MatchesFigureOneShape) {
+  const GroupedGraph gg = datasets::IllustrativeGraph();
+  EXPECT_EQ(gg.graph.num_nodes(), 38);
+  EXPECT_EQ(gg.groups.num_groups(), 2);
+  EXPECT_EQ(gg.groups.GroupSize(0), 26);  // blue dots
+  EXPECT_EQ(gg.groups.GroupSize(1), 12);  // red triangles
+  for (EdgeId e = 0; e < gg.graph.num_edges(); ++e) {
+    EXPECT_NEAR(gg.graph.EdgeProbability(e), 0.7, 1e-6);
+  }
+}
+
+TEST(IllustrativeGraphTest, HubsAreTheMostCentralBlueNodes) {
+  const GroupedGraph gg = datasets::IllustrativeGraph();
+  const int deg_a = gg.graph.OutDegree(datasets::kIllustrativeA);
+  const int deg_b = gg.graph.OutDegree(datasets::kIllustrativeB);
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    if (v == datasets::kIllustrativeA || v == datasets::kIllustrativeB) {
+      continue;
+    }
+    EXPECT_LE(gg.graph.OutDegree(v), std::min(deg_a, deg_b))
+        << "node " << v << " out-ranks the hubs";
+  }
+}
+
+TEST(IllustrativeGraphTest, RedGroupBeyondTwoHopsOfHubs) {
+  // The deadline-2 disparity mechanism: no red node within 2 hops of a or b.
+  const GroupedGraph gg = datasets::IllustrativeGraph();
+  const std::vector<int> dist = BfsDistances(
+      gg.graph, {datasets::kIllustrativeA, datasets::kIllustrativeB});
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    if (gg.groups.GroupOf(v) == 1) {
+      EXPECT_GT(dist[v], 2) << "red node " << v << " is too close to hubs";
+    }
+  }
+  // But the graph is connected: every red node is eventually reachable.
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    EXPECT_NE(dist[v], kUnreachable);
+  }
+}
+
+TEST(RiceFacebookSurrogateTest, MatchesReportedStatistics) {
+  Rng rng(2);
+  const GroupedGraph gg = datasets::RiceFacebookSurrogate(rng);
+  EXPECT_EQ(gg.graph.num_nodes(), 1205);
+  EXPECT_EQ(gg.graph.num_edges(), 2 * 42443);
+  EXPECT_EQ(gg.groups.num_groups(), 4);
+  EXPECT_EQ(gg.groups.GroupSize(0), 97);
+  EXPECT_EQ(gg.groups.GroupSize(1), 344);
+
+  const GroupEdgeStats stats = ComputeGroupEdgeStats(gg.graph, gg.groups);
+  EXPECT_EQ(stats.within[0], 2 * 513);   // paper: 513 within ages 18-19
+  EXPECT_EQ(stats.within[1], 2 * 7441);  // paper: 7441 within age 20
+  EXPECT_EQ(stats.across[0][1] + stats.across[1][0], 2 * 3350);
+}
+
+TEST(InstagramSurrogateTest, ScaledBlocksPreserveComposition) {
+  Rng rng(3);
+  const GroupedGraph gg = datasets::InstagramSurrogate(rng, /*scale=*/50);
+  EXPECT_EQ(gg.groups.num_groups(), 2);
+  const NodeId total = gg.graph.num_nodes();
+  EXPECT_EQ(total, 553628 / 50);
+  // 45.5% male.
+  EXPECT_NEAR(static_cast<double>(gg.groups.GroupSize(0)) / total, 0.455,
+              0.001);
+  const GroupEdgeStats stats = ComputeGroupEdgeStats(gg.graph, gg.groups);
+  EXPECT_EQ(stats.within[0], 2 * (179668 / 50));
+  EXPECT_EQ(stats.within[1], 2 * (201083 / 50));
+  EXPECT_EQ(stats.across[0][1] + stats.across[1][0], 2 * (136039 / 50));
+}
+
+TEST(InstagramSurrogateTest, ScalePreservesAverageDegree) {
+  Rng rng(4);
+  const GroupedGraph coarse = datasets::InstagramSurrogate(rng, 100);
+  const GroupedGraph fine = datasets::InstagramSurrogate(rng, 50);
+  EXPECT_NEAR(coarse.graph.AverageOutDegree(), fine.graph.AverageOutDegree(),
+              0.05);
+}
+
+TEST(FacebookSnapSurrogateTest, MatchesReportedStatistics) {
+  Rng rng(5);
+  const GroupedGraph gg = datasets::FacebookSnapSurrogate(rng);
+  EXPECT_EQ(gg.graph.num_nodes(), 4039);
+  EXPECT_EQ(gg.graph.num_edges(), 2 * 88234);
+  EXPECT_EQ(gg.groups.num_groups(), 5);
+  EXPECT_EQ(gg.groups.GroupSize(0), 546);
+  EXPECT_EQ(gg.groups.GroupSize(1), 1404);
+  EXPECT_EQ(gg.groups.GroupSize(2), 208);
+  EXPECT_EQ(gg.groups.GroupSize(3), 788);
+  EXPECT_EQ(gg.groups.GroupSize(4), 1093);
+}
+
+TEST(FacebookSnapSurrogateTest, CommunitiesAreAssortative) {
+  Rng rng(6);
+  const GroupedGraph gg = datasets::FacebookSnapSurrogate(rng);
+  const GroupEdgeStats stats = ComputeGroupEdgeStats(gg.graph, gg.groups);
+  EXPECT_GT(stats.total_within, 10 * stats.total_across);
+}
+
+}  // namespace
+}  // namespace tcim

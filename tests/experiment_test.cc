@@ -1,0 +1,101 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+class ExperimentHarnessTest : public ::testing::Test {
+ protected:
+  ExperimentHarnessTest() : gg_(MakeGraph()) {
+    config_.num_worlds = 80;
+    config_.deadline = 20;
+  }
+  static GroupedGraph MakeGraph() {
+    Rng rng(55);
+    return datasets::SyntheticDefault(rng);
+  }
+  GroupedGraph gg_;
+  ExperimentConfig config_;
+};
+
+TEST_F(ExperimentHarnessTest, OracleOptionsDifferBetweenPhases) {
+  const OracleOptions select = SelectionOracleOptions(config_);
+  const OracleOptions eval = EvaluationOracleOptions(config_);
+  EXPECT_NE(select.seed, eval.seed);
+  EXPECT_EQ(select.deadline, eval.deadline);
+  EXPECT_EQ(select.num_worlds, eval.num_worlds);
+}
+
+TEST_F(ExperimentHarnessTest, EvalWorldsOverrideHonored) {
+  config_.eval_num_worlds = 500;
+  EXPECT_EQ(EvaluationOracleOptions(config_).num_worlds, 500);
+}
+
+TEST_F(ExperimentHarnessTest, BudgetExperimentProducesSeedsAndReport) {
+  const ExperimentOutcome outcome =
+      RunBudgetExperiment(gg_.graph, gg_.groups, config_, /*budget=*/10);
+  EXPECT_EQ(outcome.selection.seeds.size(), 10u);
+  EXPECT_EQ(outcome.report.normalized.size(), 2u);
+  EXPECT_GT(outcome.report.total, 0.0);
+}
+
+TEST_F(ExperimentHarnessTest, FairBudgetLowersDisparity) {
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg_.graph, gg_.groups, config_, 20);
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  const ExperimentOutcome p4 =
+      RunBudgetExperiment(gg_.graph, gg_.groups, config_, 20, &log_h);
+  EXPECT_LT(p4.report.disparity, p1.report.disparity + 1e-9);
+}
+
+TEST_F(ExperimentHarnessTest, EvaluationUsesFreshWorlds) {
+  // Selection-time estimate and fresh-world evaluation should be close but
+  // generally not identical — different world seeds.
+  const ExperimentOutcome outcome =
+      RunBudgetExperiment(gg_.graph, gg_.groups, config_, 10);
+  const double selection_total = GroupVectorTotal(outcome.selection.coverage);
+  EXPECT_NEAR(outcome.report.total, selection_total,
+              0.35 * selection_total + 3.0);
+}
+
+TEST_F(ExperimentHarnessTest, CoverExperimentReachesQuota) {
+  const ExperimentOutcome outcome = RunCoverExperiment(
+      gg_.graph, gg_.groups, config_, /*quota=*/0.15, /*fair=*/true);
+  EXPECT_TRUE(outcome.selection.target_reached);
+  // Fresh-world evaluation should also be near the quota per group.
+  for (const double fraction : outcome.report.normalized) {
+    EXPECT_GE(fraction, 0.15 - 0.05);
+  }
+}
+
+TEST_F(ExperimentHarnessTest, DeterministicGivenConfig) {
+  const ExperimentOutcome a =
+      RunBudgetExperiment(gg_.graph, gg_.groups, config_, 5);
+  const ExperimentOutcome b =
+      RunBudgetExperiment(gg_.graph, gg_.groups, config_, 5);
+  EXPECT_EQ(a.selection.seeds, b.selection.seeds);
+  EXPECT_DOUBLE_EQ(a.report.total, b.report.total);
+}
+
+TEST_F(ExperimentHarnessTest, EvaluateSeedSetStandalone) {
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  const GroupUtilityReport report =
+      EvaluateSeedSet(gg_.graph, gg_.groups, seeds, config_);
+  EXPECT_GE(report.total, 3.0 - 1e-9);  // at least the seeds themselves
+}
+
+TEST_F(ExperimentHarnessTest, CandidateRestrictionFlowsThrough) {
+  const std::vector<NodeId> candidates = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  config_.candidates = &candidates;
+  const ExperimentOutcome outcome =
+      RunBudgetExperiment(gg_.graph, gg_.groups, config_, 4);
+  for (const NodeId s : outcome.selection.seeds) {
+    EXPECT_LT(s, 10);
+  }
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,71 @@
+#include "core/fairness.h"
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(DisparityOfNormalizedTest, MaxPairwiseGap) {
+  EXPECT_DOUBLE_EQ(DisparityOfNormalized({0.4, 0.1, 0.3}), 0.3);
+  EXPECT_DOUBLE_EQ(DisparityOfNormalized({0.2, 0.2}), 0.0);
+}
+
+TEST(DisparityOfNormalizedTest, FewerThanTwoGroupsIsZero) {
+  EXPECT_DOUBLE_EQ(DisparityOfNormalized({0.7}), 0.0);
+  EXPECT_DOUBLE_EQ(DisparityOfNormalized({}), 0.0);
+}
+
+TEST(MakeGroupUtilityReportTest, ComputesNormalizedUtilities) {
+  const GroupAssignment groups({0, 0, 0, 0, 1});  // sizes 4 and 1
+  const GroupUtilityReport report =
+      MakeGroupUtilityReport({2.0, 0.5}, groups);
+  EXPECT_DOUBLE_EQ(report.normalized[0], 0.5);
+  EXPECT_DOUBLE_EQ(report.normalized[1], 0.5);
+  EXPECT_DOUBLE_EQ(report.total, 2.5);
+  EXPECT_DOUBLE_EQ(report.total_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(report.disparity, 0.0);
+}
+
+TEST(MakeGroupUtilityReportTest, DisparityIsEquationTwo) {
+  const GroupAssignment groups({0, 0, 1, 1, 2, 2});
+  const GroupUtilityReport report =
+      MakeGroupUtilityReport({2.0, 1.0, 0.0}, groups);
+  // Normalized: 1.0, 0.5, 0.0 -> max gap 1.0.
+  EXPECT_DOUBLE_EQ(report.disparity, 1.0);
+}
+
+TEST(MakeGroupUtilityReportTest, NormalizationIsGroupSizeAgnostic) {
+  // Same per-capita utility in very different group sizes -> no disparity.
+  const GroupAssignment groups(
+      {0, 0, 0, 0, 0, 0, 0, 0, 0, 1});  // sizes 9 and 1
+  const GroupUtilityReport report =
+      MakeGroupUtilityReport({4.5, 0.5}, groups);
+  EXPECT_DOUBLE_EQ(report.disparity, 0.0);
+}
+
+TEST(DisparityAmongTest, RestrictsToPair) {
+  const GroupAssignment groups({0, 1, 2});
+  const GroupUtilityReport report =
+      MakeGroupUtilityReport({1.0, 0.6, 0.1}, groups);
+  EXPECT_DOUBLE_EQ(report.DisparityAmong({0, 1}), 0.4);
+  EXPECT_NEAR(report.DisparityAmong({1, 2}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(report.DisparityAmong({2}), 0.0);
+}
+
+TEST(MostDisparatePairTest, FindsExtremes) {
+  const GroupAssignment groups({0, 1, 2});
+  const GroupUtilityReport report =
+      MakeGroupUtilityReport({0.9, 0.2, 0.5}, groups);
+  const auto [a, b] = MostDisparatePair(report);
+  EXPECT_EQ(a, 0);  // highest normalized utility
+  EXPECT_EQ(b, 1);  // lowest
+}
+
+TEST(DebugStringTest, MentionsDisparity) {
+  const GroupAssignment groups({0, 1});
+  const GroupUtilityReport report = MakeGroupUtilityReport({1.0, 0.0}, groups);
+  EXPECT_NE(report.DebugString().find("disparity=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,125 @@
+#include "cli/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.AddString("name", "default", "a string");
+  flags.AddInt("count", 7, "an int");
+  flags.AddDouble("rate", 0.5, "a double");
+  flags.AddBool("fair", false, "a bool");
+  return flags;
+}
+
+Status ParseArgs(FlagParser& flags, std::vector<const char*> args) {
+  return flags.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, DefaultsWithNoArgs) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {}).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(flags.GetBool("fair"));
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(flags, {"--name=abc", "--count=42", "--rate=0.25"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "abc");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--name", "xyz", "--count", "-3"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+  EXPECT_EQ(flags.GetInt("count"), -3);
+}
+
+TEST(FlagParserTest, BareBoolSetsTrue) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--fair"}).ok());
+  EXPECT_TRUE(flags.GetBool("fair"));
+}
+
+TEST(FlagParserTest, BoolExplicitValues) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--fair=false"}).ok());
+  EXPECT_FALSE(flags.GetBool("fair"));
+  ASSERT_TRUE(ParseArgs(flags, {"--fair=1"}).ok());
+  EXPECT_TRUE(flags.GetBool("fair"));
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"input.txt", "--count=1", "out.txt"}).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "out.txt"}));
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser flags = MakeParser();
+  const Status status = ParseArgs(flags, {"--nope=1"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagParserTest, MalformedIntIsError) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--count=abc"}).ok());
+}
+
+TEST(FlagParserTest, MalformedDoubleIsError) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--rate=fast"}).ok());
+}
+
+TEST(FlagParserTest, MalformedBoolIsError) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--fair=maybe"}).ok());
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--name"}).ok());
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--count=1", "--count=2"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 2);
+}
+
+TEST(FlagParserTest, HelpListsFlagsAndDefaults) {
+  FlagParser flags = MakeParser();
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default: 7"), std::string::npos);
+}
+
+TEST(FlagParserDeathTest, UndeclaredGetterAborts) {
+  FlagParser flags = MakeParser();
+  EXPECT_DEATH((void)flags.GetInt("nope"), "undeclared");
+}
+
+TEST(FlagParserDeathTest, TypeMismatchAborts) {
+  FlagParser flags = MakeParser();
+  EXPECT_DEATH((void)flags.GetInt("name"), "type mismatch");
+}
+
+TEST(FlagParserDeathTest, DuplicateDeclarationAborts) {
+  FlagParser flags = MakeParser();
+  EXPECT_DEATH(flags.AddInt("count", 1, "again"), "duplicate");
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,163 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace tcim {
+namespace {
+
+TEST(GenerateSbmTest, GroupSizesFollowMajorityFraction) {
+  Rng rng(1);
+  SbmParams params;
+  params.num_nodes = 500;
+  params.majority_fraction = 0.7;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  EXPECT_EQ(gg.graph.num_nodes(), 500);
+  EXPECT_EQ(gg.groups.num_groups(), 2);
+  EXPECT_EQ(gg.groups.GroupSize(0), 350);
+  EXPECT_EQ(gg.groups.GroupSize(1), 150);
+}
+
+TEST(GenerateSbmTest, EdgeCountsNearExpectation) {
+  Rng rng(7);
+  SbmParams params;  // paper defaults: 0.025 / 0.001
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  const GroupEdgeStats stats = ComputeGroupEdgeStats(gg.graph, gg.groups);
+
+  // Expected within group 0: C(350,2)*0.025 ≈ 1527 undirected = 3054 directed.
+  const double expected_within0 = 350.0 * 349.0 / 2.0 * 0.025 * 2;
+  EXPECT_NEAR(stats.within[0], expected_within0, 0.15 * expected_within0);
+  // Expected across: 350*150*0.001 = 52.5 undirected = 105 directed.
+  const double expected_across = 350.0 * 150.0 * 0.001 * 2;
+  EXPECT_NEAR(stats.across[0][1] + stats.across[1][0], expected_across,
+              0.5 * expected_across);
+}
+
+TEST(GenerateSbmTest, AllEdgesCarryActivationProbability) {
+  Rng rng(3);
+  SbmParams params;
+  params.num_nodes = 100;
+  params.activation_probability = 0.42;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  for (EdgeId e = 0; e < gg.graph.num_edges(); ++e) {
+    EXPECT_NEAR(gg.graph.EdgeProbability(e), 0.42, 1e-6);
+  }
+}
+
+TEST(GenerateSbmTest, DeterministicGivenSeed) {
+  SbmParams params;
+  params.num_nodes = 200;
+  Rng rng1(99), rng2(99);
+  const GroupedGraph a = GenerateSbm(params, rng1);
+  const GroupedGraph b = GenerateSbm(params, rng2);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (EdgeId e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.EdgeSource(e), b.graph.EdgeSource(e));
+    EXPECT_EQ(a.graph.EdgeTarget(e), b.graph.EdgeTarget(e));
+  }
+}
+
+TEST(GenerateSbmTest, SymmetricSincesUndirected) {
+  Rng rng(5);
+  SbmParams params;
+  params.num_nodes = 120;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    EXPECT_EQ(gg.graph.OutDegree(v), gg.graph.InDegree(v));
+  }
+}
+
+TEST(GenerateBlockModelTest, ThreeGroups) {
+  Rng rng(11);
+  const GroupedGraph gg = GenerateBlockModel(
+      {50, 30, 20},
+      {{0.2, 0.01, 0.01}, {0.01, 0.2, 0.01}, {0.01, 0.01, 0.2}}, 0.1, rng);
+  EXPECT_EQ(gg.graph.num_nodes(), 100);
+  EXPECT_EQ(gg.groups.num_groups(), 3);
+  const GroupEdgeStats stats = ComputeGroupEdgeStats(gg.graph, gg.groups);
+  EXPECT_GT(stats.total_within, stats.total_across);
+}
+
+TEST(GenerateBlockModelDeathTest, AsymmetricMatrixAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(
+      GenerateBlockModel({10, 10}, {{0.1, 0.2}, {0.3, 0.1}}, 0.1, rng),
+      "symmetric");
+}
+
+TEST(GenerateExactBlockGraphTest, HitsExactCounts) {
+  Rng rng(13);
+  const GroupedGraph gg = GenerateExactBlockGraph(
+      {40, 60}, {{100, 50}, {50, 200}}, 0.05, rng);
+  const GroupEdgeStats stats = ComputeGroupEdgeStats(gg.graph, gg.groups);
+  // Undirected edges count twice in directed stats.
+  EXPECT_EQ(stats.within[0], 200);
+  EXPECT_EQ(stats.within[1], 400);
+  EXPECT_EQ(stats.across[0][1] + stats.across[1][0], 100);
+  EXPECT_EQ(gg.graph.num_edges(), 2 * (100 + 50 + 200));
+}
+
+TEST(GenerateExactBlockGraphTest, NoDuplicateUndirectedEdges) {
+  Rng rng(17);
+  const GroupedGraph gg =
+      GenerateExactBlockGraph({20}, {{150}}, 0.05, rng);
+  // 150 distinct undirected edges among C(20,2)=190 pairs.
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (EdgeId e = 0; e < gg.graph.num_edges(); ++e) {
+    NodeId a = gg.graph.EdgeSource(e), b = gg.graph.EdgeTarget(e);
+    if (a > b) std::swap(a, b);
+    pairs.insert({a, b});
+  }
+  EXPECT_EQ(pairs.size(), 150u);
+}
+
+TEST(GenerateExactBlockGraphDeathTest, OverfullBlockAborts) {
+  Rng rng(1);
+  // C(5,2) = 10 < 11 requested.
+  EXPECT_DEATH(GenerateExactBlockGraph({5}, {{11}}, 0.1, rng), "capacity");
+}
+
+TEST(GenerateErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(23);
+  const Graph graph = GenerateErdosRenyi(100, 300, 0.1, rng);
+  EXPECT_EQ(graph.num_nodes(), 100);
+  EXPECT_EQ(graph.num_edges(), 600);  // 300 undirected
+}
+
+TEST(GenerateBarabasiAlbertTest, DegreeSkewIsHeavy) {
+  Rng rng(29);
+  const Graph graph = GenerateBarabasiAlbert(500, 3, 0.1, rng);
+  EXPECT_EQ(graph.num_nodes(), 500);
+  const DegreeStats stats = ComputeOutDegreeStats(graph);
+  // Preferential attachment produces hubs: max degree far above the mean.
+  EXPECT_GT(stats.max, 4 * stats.mean);
+  EXPECT_GE(stats.min, 3);
+}
+
+TEST(WithWeightedCascadeProbabilitiesTest, UsesInverseInDegree) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2, 0.9);
+  builder.AddEdge(1, 2, 0.9);
+  const Graph graph = WithWeightedCascadeProbabilities(builder.Build());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_NEAR(graph.EdgeProbability(e), 0.5, 1e-6);  // in-degree of 2 is 2
+  }
+}
+
+TEST(WithUniformProbabilityTest, OverridesAllEdges) {
+  Rng rng(31);
+  const Graph base = GenerateErdosRenyi(50, 100, 0.5, rng);
+  const Graph uniform = WithUniformProbability(base, 0.07);
+  EXPECT_EQ(uniform.num_edges(), base.num_edges());
+  for (EdgeId e = 0; e < uniform.num_edges(); ++e) {
+    EXPECT_NEAR(uniform.EdgeProbability(e), 0.07, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tcim

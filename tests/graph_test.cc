@@ -1,0 +1,181 @@
+#include "graph/graph.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(0);
+  const Graph graph = builder.Build();
+  EXPECT_EQ(graph.num_nodes(), 0);
+  EXPECT_EQ(graph.num_edges(), 0);
+}
+
+TEST(GraphBuilderTest, NodesWithoutEdges) {
+  const Graph graph = GraphBuilder(5).Build();
+  EXPECT_EQ(graph.num_nodes(), 5);
+  EXPECT_EQ(graph.num_edges(), 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(graph.OutDegree(v), 0);
+    EXPECT_EQ(graph.InDegree(v), 0);
+  }
+}
+
+TEST(GraphBuilderTest, DirectedEdgeAppearsInBothViews) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 0.5);
+  const Graph graph = builder.Build();
+  ASSERT_EQ(graph.num_edges(), 1);
+  EXPECT_EQ(graph.OutDegree(0), 1);
+  EXPECT_EQ(graph.InDegree(1), 1);
+  EXPECT_EQ(graph.OutDegree(1), 0);
+  EXPECT_EQ(graph.InDegree(0), 0);
+
+  const auto out = graph.OutEdges(0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].node, 1);
+  EXPECT_FLOAT_EQ(out[0].probability, 0.5f);
+
+  const auto in = graph.InEdges(1);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].node, 0);
+  EXPECT_EQ(in[0].edge_id, out[0].edge_id);  // canonical id shared
+}
+
+TEST(GraphBuilderTest, UndirectedEdgeMakesTwoDistinctEdges) {
+  GraphBuilder builder(2);
+  builder.AddUndirectedEdge(0, 1, 0.3);
+  const Graph graph = builder.Build();
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.OutDegree(0), 1);
+  EXPECT_EQ(graph.OutDegree(1), 1);
+  EXPECT_NE(graph.OutEdges(0)[0].edge_id, graph.OutEdges(1)[0].edge_id);
+}
+
+TEST(GraphBuilderTest, EdgeEndpointAccessors) {
+  GraphBuilder builder(4);
+  builder.AddEdge(2, 3, 0.7);
+  builder.AddEdge(0, 2, 0.1);
+  const Graph graph = builder.Build();
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const NodeId source = graph.EdgeSource(e);
+    const NodeId target = graph.EdgeTarget(e);
+    // The edge id must be findable in the source's out list.
+    bool found = false;
+    for (const AdjacentEdge& edge : graph.OutEdges(source)) {
+      if (edge.edge_id == e) {
+        EXPECT_EQ(edge.node, target);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(GraphBuilderTest, ParallelEdgesAllowed) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.1);
+  builder.AddEdge(0, 1, 0.9);
+  const Graph graph = builder.Build();
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.OutDegree(0), 2);
+  EXPECT_EQ(graph.InDegree(1), 2);
+}
+
+TEST(GraphBuilderTest, CsrGroupsEdgesBySource) {
+  GraphBuilder builder(4);
+  builder.AddEdge(3, 0, 0.2);
+  builder.AddEdge(1, 2, 0.2);
+  builder.AddEdge(3, 1, 0.2);
+  builder.AddEdge(0, 3, 0.2);
+  const Graph graph = builder.Build();
+  // Edge ids are positions in the out-CSR: sources must be nondecreasing.
+  NodeId last_source = 0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_GE(graph.EdgeSource(e), last_source);
+    last_source = graph.EdgeSource(e);
+  }
+  std::set<NodeId> targets_of_3;
+  for (const AdjacentEdge& edge : graph.OutEdges(3)) {
+    targets_of_3.insert(edge.node);
+  }
+  EXPECT_EQ(targets_of_3, (std::set<NodeId>{0, 1}));
+}
+
+TEST(GraphBuilderTest, TransposeMirrorsAllEdges) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1, 0.5).AddEdge(1, 2, 0.5).AddEdge(2, 0, 0.5);
+  builder.AddEdge(3, 4, 0.5).AddEdge(4, 3, 0.5);
+  const Graph graph = builder.Build();
+  int64_t out_total = 0, in_total = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out_total += graph.OutDegree(v);
+    in_total += graph.InDegree(v);
+  }
+  EXPECT_EQ(out_total, graph.num_edges());
+  EXPECT_EQ(in_total, graph.num_edges());
+  // Every in-edge id matches the original out edge.
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const AdjacentEdge& in_edge : graph.InEdges(v)) {
+      EXPECT_EQ(graph.EdgeTarget(in_edge.edge_id), v);
+      EXPECT_EQ(graph.EdgeSource(in_edge.edge_id), in_edge.node);
+    }
+  }
+}
+
+TEST(GraphBuilderTest, HasEdgeFindsAddedEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 0.5);
+  EXPECT_TRUE(builder.HasEdge(0, 1));
+  EXPECT_FALSE(builder.HasEdge(1, 0));
+  EXPECT_FALSE(builder.HasEdge(0, 2));
+}
+
+TEST(GraphBuilderTest, BuildIsRepeatable) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 0.5);
+  const Graph first = builder.Build();
+  builder.AddEdge(1, 2, 0.5);
+  const Graph second = builder.Build();
+  EXPECT_EQ(first.num_edges(), 1);
+  EXPECT_EQ(second.num_edges(), 2);
+}
+
+TEST(GraphTest, AverageOutDegree) {
+  GraphBuilder builder(4);
+  builder.AddUndirectedEdge(0, 1, 0.5);
+  builder.AddUndirectedEdge(2, 3, 0.5);
+  EXPECT_DOUBLE_EQ(builder.Build().AverageOutDegree(), 1.0);
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.5);
+  const std::string debug = builder.Build().DebugString();
+  EXPECT_NE(debug.find("n=2"), std::string::npos);
+  EXPECT_NE(debug.find("directed_edges=1"), std::string::npos);
+}
+
+TEST(GraphBuilderDeathTest, RejectsSelfLoop) {
+  GraphBuilder builder(2);
+  EXPECT_DEATH(builder.AddEdge(1, 1, 0.5), "self-loop");
+}
+
+TEST(GraphBuilderDeathTest, RejectsOutOfRangeNodes) {
+  GraphBuilder builder(2);
+  EXPECT_DEATH(builder.AddEdge(0, 2, 0.5), "out of range");
+  EXPECT_DEATH(builder.AddEdge(-1, 0, 0.5), "out of range");
+}
+
+TEST(GraphBuilderDeathTest, RejectsBadProbability) {
+  GraphBuilder builder(2);
+  EXPECT_DEATH(builder.AddEdge(0, 1, 1.5), "probability");
+  EXPECT_DEATH(builder.AddEdge(0, 1, -0.1), "probability");
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,102 @@
+// Cross-configuration consistency sweep: CELF must return exactly the
+// plain-greedy solution for EVERY combination of objective, diffusion
+// model, and deadline — the broadest correctness net over the solver stack
+// (CELF's validity rests on submodularity of the estimated objective; a
+// disagreement here would expose either a non-submodular objective or a
+// staleness bug in the heap).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/objectives.h"
+#include "graph/generators.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+namespace {
+
+struct Config {
+  int objective;  // 0 total, 1 log-sum, 2 sqrt-sum, 3 truncated quota
+  DiffusionModel model;
+  int deadline;
+};
+
+class GreedyConsistencyTest : public ::testing::TestWithParam<int> {
+ protected:
+  Config GetConfig() const {
+    const int raw = GetParam();
+    Config config;
+    config.objective = raw % 4;
+    config.model = (raw / 4) % 2 == 0 ? DiffusionModel::kIndependentCascade
+                                      : DiffusionModel::kLinearThreshold;
+    const int deadline_index = (raw / 8) % 3;
+    config.deadline =
+        deadline_index == 0 ? 2 : (deadline_index == 1 ? 6 : kNoDeadline);
+    return config;
+  }
+
+  std::unique_ptr<Objective> MakeObjective(const Config& config,
+                                           const GroupAssignment& groups) {
+    switch (config.objective) {
+      case 0:
+        return std::make_unique<TotalInfluenceObjective>();
+      case 1:
+        return std::make_unique<ConcaveSumObjective>(ConcaveFunction::Log(),
+                                                     &groups);
+      case 2:
+        return std::make_unique<ConcaveSumObjective>(ConcaveFunction::Sqrt(),
+                                                     &groups);
+      default:
+        return std::make_unique<TruncatedQuotaObjective>(0.3, &groups);
+    }
+  }
+};
+
+TEST_P(GreedyConsistencyTest, CelfEqualsPlainGreedy) {
+  const Config config = GetConfig();
+  Rng rng(9000 + GetParam());
+  SbmParams params;
+  params.num_nodes = 90;
+  params.p_hom = 0.08;
+  params.p_het = 0.02;
+  params.activation_probability = 0.25;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+
+  OracleOptions oracle_options;
+  oracle_options.num_worlds = 25;
+  oracle_options.deadline = config.deadline;
+  oracle_options.model = config.model;
+  oracle_options.seed = 31 + GetParam();
+
+  const auto objective = MakeObjective(config, gg.groups);
+  GreedyOptions lazy;
+  lazy.max_seeds = 6;
+  lazy.lazy = true;
+  GreedyOptions plain = lazy;
+  plain.lazy = false;
+
+  InfluenceOracle oracle_lazy(&gg.graph, &gg.groups, oracle_options);
+  const GreedyResult lazy_result = RunGreedy(oracle_lazy, *objective, lazy);
+  InfluenceOracle oracle_plain(&gg.graph, &gg.groups, oracle_options);
+  const GreedyResult plain_result =
+      RunGreedy(oracle_plain, *objective, plain);
+
+  EXPECT_EQ(lazy_result.seeds, plain_result.seeds)
+      << "objective=" << config.objective
+      << " model=" << DiffusionModelName(config.model)
+      << " deadline=" << config.deadline;
+  EXPECT_NEAR(lazy_result.objective_value, plain_result.objective_value,
+              1e-9);
+  EXPECT_LE(lazy_result.oracle_calls, plain_result.oracle_calls);
+}
+
+// 4 objectives x 2 models x 3 deadlines.
+INSTANTIATE_TEST_SUITE_P(AllConfigs, GreedyConsistencyTest,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,312 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+// Two disjoint sure-edge stars: center 0 with 5 leaves, center 6 with 3
+// leaves, singleton 10. Greedy must pick 0 then 6.
+struct StarsFixture {
+  StarsFixture() {
+    GraphBuilder builder(11);
+    for (NodeId v = 1; v <= 5; ++v) builder.AddEdge(0, v, 1.0);
+    for (NodeId v = 7; v <= 9; ++v) builder.AddEdge(6, v, 1.0);
+    graph = builder.Build();
+    groups = GroupAssignment::SingleGroup(11);
+  }
+  Graph graph;
+  GroupAssignment groups;
+  OracleOptions options;
+};
+
+TEST(RunGreedyTest, PicksCentersInGainOrder) {
+  StarsFixture fx;
+  fx.options.num_worlds = 5;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, fx.options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 2;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], 0);  // 6 covered nodes
+  EXPECT_EQ(result.seeds[1], 6);  // 4 covered nodes
+  EXPECT_NEAR(result.objective_value, 10.0, 1e-9);
+}
+
+TEST(RunGreedyTest, LazyAndPlainAgree) {
+  Rng rng(3);
+  SbmParams params;
+  params.num_nodes = 120;
+  params.activation_probability = 0.15;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  OracleOptions options;
+  options.num_worlds = 40;
+  options.deadline = 4;
+
+  TotalInfluenceObjective objective;
+  GreedyOptions lazy_options;
+  lazy_options.max_seeds = 8;
+  lazy_options.lazy = true;
+  GreedyOptions plain_options = lazy_options;
+  plain_options.lazy = false;
+
+  InfluenceOracle oracle_a(&gg.graph, &gg.groups, options);
+  const GreedyResult lazy = RunGreedy(oracle_a, objective, lazy_options);
+  InfluenceOracle oracle_b(&gg.graph, &gg.groups, options);
+  const GreedyResult plain = RunGreedy(oracle_b, objective, plain_options);
+
+  EXPECT_EQ(lazy.seeds, plain.seeds);
+  EXPECT_NEAR(lazy.objective_value, plain.objective_value, 1e-9);
+  // CELF must save oracle calls.
+  EXPECT_LT(lazy.oracle_calls, plain.oracle_calls);
+}
+
+TEST(RunGreedyTest, TraceRecordsEveryStep) {
+  StarsFixture fx;
+  fx.options.num_worlds = 4;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, fx.options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 3;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  ASSERT_EQ(result.trace.size(), result.seeds.size());
+  double last_value = 0.0;
+  for (size_t i = 0; i < result.trace.size(); ++i) {
+    EXPECT_EQ(result.trace[i].node, result.seeds[i]);
+    EXPECT_GE(result.trace[i].objective_value, last_value);
+    last_value = result.trace[i].objective_value;
+    EXPECT_GT(result.trace[i].gain, 0.0);
+  }
+}
+
+TEST(RunGreedyTest, GainsAreNonIncreasing) {
+  Rng rng(5);
+  SbmParams params;
+  params.num_nodes = 150;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  OracleOptions options;
+  options.num_worlds = 30;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 10;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  for (size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i].gain, result.trace[i - 1].gain + 1e-9)
+        << "greedy gains must diminish (submodularity)";
+  }
+}
+
+TEST(RunGreedyTest, TargetValueStopsEarly) {
+  StarsFixture fx;
+  fx.options.num_worlds = 4;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, fx.options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 10;
+  greedy.target_value = 5.0;  // the first star alone reaches 6
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  EXPECT_EQ(result.seeds.size(), 1u);
+  EXPECT_TRUE(result.target_reached);
+}
+
+TEST(RunGreedyTest, UnreachableTargetStopsAtNoGain) {
+  StarsFixture fx;
+  fx.options.num_worlds = 4;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, fx.options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 200;
+  greedy.target_value = 999.0;  // impossible: only 11 nodes exist
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  EXPECT_FALSE(result.target_reached);
+  // Stops once every node is covered (11 = all nodes), not at max_seeds.
+  EXPECT_LE(result.seeds.size(), 11u);
+  EXPECT_NEAR(result.objective_value, 11.0, 1e-9);
+}
+
+TEST(RunGreedyTest, CandidateRestrictionHonored) {
+  StarsFixture fx;
+  fx.options.num_worlds = 4;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, fx.options);
+  TotalInfluenceObjective objective;
+  const std::vector<NodeId> candidates = {6, 10};  // the big center excluded
+  GreedyOptions greedy;
+  greedy.max_seeds = 2;
+  greedy.candidates = &candidates;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  for (const NodeId s : result.seeds) {
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), s) !=
+                candidates.end());
+  }
+  EXPECT_EQ(result.seeds[0], 6);
+}
+
+TEST(RunGreedyTest, ZeroBudgetReturnsEmpty) {
+  StarsFixture fx;
+  fx.options.num_worlds = 2;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, fx.options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 0;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  EXPECT_TRUE(result.seeds.empty());
+  EXPECT_EQ(result.oracle_calls, 0);
+}
+
+TEST(RunGreedyTest, OracleStateMatchesResult) {
+  StarsFixture fx;
+  fx.options.num_worlds = 4;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, fx.options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 2;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  EXPECT_EQ(oracle.seeds(), result.seeds);
+  EXPECT_NEAR(oracle.total_coverage(), result.objective_value, 1e-9);
+}
+
+TEST(RunGreedyTest, ResetsPreviousOracleState) {
+  StarsFixture fx;
+  fx.options.num_worlds = 4;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, fx.options);
+  oracle.AddSeed(10);  // stale state that RunGreedy must clear
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 1;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  EXPECT_EQ(result.seeds, (std::vector<NodeId>{0}));
+}
+
+TEST(StochasticGreedyTest, ProducesFullBudget) {
+  Rng rng(7);
+  SbmParams params;
+  params.num_nodes = 200;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  OracleOptions options;
+  options.num_worlds = 30;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 10;
+  greedy.stochastic_epsilon = 0.1;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  EXPECT_EQ(result.seeds.size(), 10u);
+  // No duplicate selections.
+  std::vector<NodeId> sorted = result.seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(StochasticGreedyTest, FewerOracleCallsThanPlain) {
+  Rng rng(7);
+  SbmParams params;
+  params.num_nodes = 200;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  OracleOptions options;
+  options.num_worlds = 30;
+  TotalInfluenceObjective objective;
+
+  GreedyOptions stochastic;
+  stochastic.max_seeds = 10;
+  stochastic.stochastic_epsilon = 0.2;
+  InfluenceOracle oracle_a(&gg.graph, &gg.groups, options);
+  const GreedyResult fast = RunGreedy(oracle_a, objective, stochastic);
+
+  GreedyOptions plain;
+  plain.max_seeds = 10;
+  plain.lazy = false;
+  InfluenceOracle oracle_b(&gg.graph, &gg.groups, options);
+  const GreedyResult slow = RunGreedy(oracle_b, objective, plain);
+
+  EXPECT_LT(fast.oracle_calls, slow.oracle_calls / 2);
+  // Quality stays within the (1 - 1/e - eps) ballpark of plain greedy.
+  EXPECT_GT(fast.objective_value, 0.6 * slow.objective_value);
+}
+
+TEST(StochasticGreedyTest, DeterministicGivenSeed) {
+  Rng rng(9);
+  SbmParams params;
+  params.num_nodes = 150;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  OracleOptions options;
+  options.num_worlds = 20;
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 6;
+  greedy.stochastic_epsilon = 0.15;
+  greedy.stochastic_seed = 777;
+  InfluenceOracle oracle_a(&gg.graph, &gg.groups, options);
+  const GreedyResult a = RunGreedy(oracle_a, objective, greedy);
+  InfluenceOracle oracle_b(&gg.graph, &gg.groups, options);
+  const GreedyResult b = RunGreedy(oracle_b, objective, greedy);
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+TEST(StochasticGreedyTest, TerminatesWhenNothingHelps) {
+  // Two-node empty-ish graph: after both nodes are chosen nothing has gain.
+  GraphBuilder builder(2);
+  const Graph graph = builder.Build();
+  const GroupAssignment groups = GroupAssignment::SingleGroup(2);
+  OracleOptions options;
+  options.num_worlds = 4;
+  InfluenceOracle oracle(&graph, &groups, options);
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = 10;
+  greedy.stochastic_epsilon = 0.3;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+  EXPECT_LE(result.seeds.size(), 2u);
+}
+
+// Brute-force optimality: on tiny instances greedy with B=1 must be optimal,
+// and for larger B must achieve >= (1 - 1/e) of the brute-force optimum
+// measured on the same worlds (the §3.4 guarantee, exact because the
+// estimate itself is submodular).
+class GreedyGuaranteeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyGuaranteeTest, AchievesApproximationBound) {
+  Rng rng(100 + GetParam());
+  SbmParams params;
+  params.num_nodes = 18;
+  params.p_hom = 0.25;
+  params.p_het = 0.1;
+  params.activation_probability = 0.4;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  OracleOptions options;
+  options.num_worlds = 20;
+  options.deadline = 3;
+  options.seed = 42 + GetParam();
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+
+  const int budget = 2;
+  TotalInfluenceObjective objective;
+  GreedyOptions greedy;
+  greedy.max_seeds = budget;
+  const GreedyResult result = RunGreedy(oracle, objective, greedy);
+
+  // Brute force over all pairs on the same worlds.
+  double best = 0.0;
+  for (NodeId a = 0; a < gg.graph.num_nodes(); ++a) {
+    for (NodeId b = a; b < gg.graph.num_nodes(); ++b) {
+      const double value =
+          GroupVectorTotal(oracle.EstimateGroupCoverage({a, b}));
+      best = std::max(best, value);
+    }
+  }
+  EXPECT_GE(result.objective_value, (1.0 - 1.0 / std::exp(1.0)) * best - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyGuaranteeTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,72 @@
+#include "graph/groups.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(GroupAssignmentTest, SingleGroupCoversAllNodes) {
+  const GroupAssignment groups = GroupAssignment::SingleGroup(7);
+  EXPECT_EQ(groups.num_nodes(), 7);
+  EXPECT_EQ(groups.num_groups(), 1);
+  EXPECT_EQ(groups.GroupSize(0), 7);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(groups.GroupOf(v), 0);
+}
+
+TEST(GroupAssignmentTest, TwoGroupSizes) {
+  const GroupAssignment groups({0, 0, 1, 0, 1});
+  EXPECT_EQ(groups.num_groups(), 2);
+  EXPECT_EQ(groups.GroupSize(0), 3);
+  EXPECT_EQ(groups.GroupSize(1), 2);
+  EXPECT_DOUBLE_EQ(groups.GroupFraction(0), 0.6);
+  EXPECT_DOUBLE_EQ(groups.GroupFraction(1), 0.4);
+}
+
+TEST(GroupAssignmentTest, GroupMembersInNodeOrder) {
+  const GroupAssignment groups({1, 0, 1, 0, 1});
+  EXPECT_EQ(groups.GroupMembers(0), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(groups.GroupMembers(1), (std::vector<NodeId>{0, 2, 4}));
+}
+
+TEST(GroupAssignmentTest, DebugStringShowsSizes) {
+  const GroupAssignment groups({0, 1, 1});
+  EXPECT_EQ(groups.DebugString(), "GroupAssignment(k=2 sizes=[1,2])");
+}
+
+TEST(GroupAssignmentDeathTest, RejectsSparseGroupIds) {
+  // Group 1 missing: ids {0, 2} are not dense.
+  EXPECT_DEATH(GroupAssignment({0, 2}), "dense");
+}
+
+TEST(GroupAssignmentDeathTest, RejectsNegativeIds) {
+  EXPECT_DEATH(GroupAssignment({0, -1}), "negative");
+}
+
+TEST(GroupEdgeStatsTest, CountsWithinAndAcross) {
+  // 0,1 in group 0; 2,3 in group 1.
+  GraphBuilder builder(4);
+  builder.AddUndirectedEdge(0, 1, 0.5);  // within group 0 (2 directed)
+  builder.AddUndirectedEdge(2, 3, 0.5);  // within group 1 (2 directed)
+  builder.AddEdge(0, 2, 0.5);            // across 0 -> 1
+  const Graph graph = builder.Build();
+  const GroupAssignment groups({0, 0, 1, 1});
+
+  const GroupEdgeStats stats = ComputeGroupEdgeStats(graph, groups);
+  EXPECT_EQ(stats.within[0], 2);
+  EXPECT_EQ(stats.within[1], 2);
+  EXPECT_EQ(stats.across[0][1], 1);
+  EXPECT_EQ(stats.across[1][0], 0);
+  EXPECT_EQ(stats.total_within, 4);
+  EXPECT_EQ(stats.total_across, 1);
+}
+
+TEST(GroupEdgeStatsDeathTest, NodeCountMismatchAborts) {
+  const Graph graph = GraphBuilder(3).Build();
+  const GroupAssignment groups({0, 1});
+  EXPECT_DEATH(ComputeGroupEdgeStats(graph, groups), "mismatch");
+}
+
+}  // namespace
+}  // namespace tcim

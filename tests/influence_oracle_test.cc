@@ -1,0 +1,283 @@
+#include "sim/influence_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+// Path 0 -> 1 -> 2 -> 3 with sure edges; two groups {0,1} and {2,3}.
+struct PathFixture {
+  PathFixture() {
+    GraphBuilder builder(4);
+    builder.AddEdge(0, 1, 1.0).AddEdge(1, 2, 1.0).AddEdge(2, 3, 1.0);
+    graph = builder.Build();
+    groups = GroupAssignment({0, 0, 1, 1});
+  }
+  Graph graph;
+  GroupAssignment groups;
+};
+
+TEST(InfluenceOracleTest, SureEdgesFullCoverage) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 10;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, options);
+  oracle.AddSeed(0);
+  EXPECT_NEAR(oracle.group_coverage()[0], 2.0, 1e-9);
+  EXPECT_NEAR(oracle.group_coverage()[1], 2.0, 1e-9);
+  EXPECT_NEAR(oracle.total_coverage(), 4.0, 1e-9);
+}
+
+TEST(InfluenceOracleTest, DeadlineCutsPath) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 10;
+  options.deadline = 1;  // only node 1 within one hop of seed 0
+  InfluenceOracle oracle(&fx.graph, &fx.groups, options);
+  oracle.AddSeed(0);
+  EXPECT_NEAR(oracle.group_coverage()[0], 2.0, 1e-9);  // nodes 0 and 1
+  EXPECT_NEAR(oracle.group_coverage()[1], 0.0, 1e-9);
+}
+
+TEST(InfluenceOracleTest, DeadlineZeroCoversSeedOnly) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 5;
+  options.deadline = 0;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, options);
+  oracle.AddSeed(1);
+  EXPECT_NEAR(oracle.total_coverage(), 1.0, 1e-9);
+}
+
+TEST(InfluenceOracleTest, MarginalGainDoesNotMutate) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 8;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, options);
+  const GroupVector before = oracle.group_coverage();
+  const GroupVector gain = oracle.MarginalGain(0);
+  EXPECT_EQ(oracle.group_coverage(), before);
+  EXPECT_TRUE(oracle.seeds().empty());
+  EXPECT_NEAR(GroupVectorTotal(gain), 4.0, 1e-9);
+}
+
+TEST(InfluenceOracleTest, AddSeedMatchesPriorMarginalGain) {
+  Rng rng(3);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  OracleOptions options;
+  options.num_worlds = 50;
+  options.deadline = 5;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  for (const NodeId seed : {3, 77, 410}) {
+    const GroupVector expected = oracle.MarginalGain(seed);
+    const GroupVector realized = oracle.AddSeed(seed);
+    ASSERT_EQ(expected.size(), realized.size());
+    for (size_t g = 0; g < expected.size(); ++g) {
+      EXPECT_NEAR(expected[g], realized[g], 1e-9);
+    }
+  }
+}
+
+TEST(InfluenceOracleTest, SecondAddOfSameSeedGainsNothing) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 4;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, options);
+  oracle.AddSeed(0);
+  const GroupVector again = oracle.AddSeed(0);
+  EXPECT_NEAR(GroupVectorTotal(again), 0.0, 1e-9);
+}
+
+TEST(InfluenceOracleTest, ResetClearsState) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 4;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, options);
+  oracle.AddSeed(0);
+  oracle.Reset();
+  EXPECT_TRUE(oracle.seeds().empty());
+  EXPECT_NEAR(oracle.total_coverage(), 0.0, 1e-9);
+  const GroupVector gain = oracle.AddSeed(0);
+  EXPECT_NEAR(GroupVectorTotal(gain), 4.0, 1e-9);
+}
+
+TEST(InfluenceOracleTest, EstimateGroupCoverageMatchesIncrementalState) {
+  Rng rng(9);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  OracleOptions options;
+  options.num_worlds = 40;
+  options.deadline = 10;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  const std::vector<NodeId> seeds = {5, 123, 400, 42};
+  for (const NodeId s : seeds) oracle.AddSeed(s);
+  const GroupVector direct = oracle.EstimateGroupCoverage(seeds);
+  for (size_t g = 0; g < direct.size(); ++g) {
+    EXPECT_NEAR(direct[g], oracle.group_coverage()[g], 1e-9);
+  }
+}
+
+TEST(InfluenceOracleTest, EstimateMatchesBernoulliProbability) {
+  // Single edge with p=0.3: E[coverage of {0}] = 1 + 0.3.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.3);
+  const Graph graph = builder.Build();
+  const GroupAssignment groups = GroupAssignment::SingleGroup(2);
+  OracleOptions options;
+  options.num_worlds = 20000;
+  InfluenceOracle oracle(&graph, &groups, options);
+  oracle.AddSeed(0);
+  EXPECT_NEAR(oracle.total_coverage(), 1.3, 0.02);
+}
+
+TEST(InfluenceOracleTest, AgreesWithForwardWorldSimulation) {
+  // The oracle's coverage must equal averaging SimulateInWorld over the
+  // same worlds — they share the WorldSampler coins.
+  Rng rng(5);
+  SbmParams params;
+  params.num_nodes = 120;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  OracleOptions options;
+  options.num_worlds = 60;
+  options.deadline = 4;
+  options.seed = 777;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  const std::vector<NodeId> seeds = {3, 50, 99};
+  for (const NodeId s : seeds) oracle.AddSeed(s);
+
+  WorldSampler sampler(&gg.graph, DiffusionModel::kIndependentCascade, 777);
+  GroupVector expected(gg.groups.num_groups(), 0.0);
+  for (uint32_t world = 0; world < 60; ++world) {
+    const CascadeResult result =
+        SimulateInWorld(gg.graph, seeds, sampler, world, options.deadline);
+    for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+      if (result.activation_time[v] >= 0 &&
+          result.activation_time[v] <= options.deadline) {
+        expected[gg.groups.GroupOf(v)] += 1.0;
+      }
+    }
+  }
+  for (double& e : expected) e /= 60.0;
+  for (size_t g = 0; g < expected.size(); ++g) {
+    EXPECT_NEAR(oracle.group_coverage()[g], expected[g], 1e-9);
+  }
+}
+
+TEST(InfluenceOracleTest, LinearThresholdModelSupported) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 50;
+  options.model = DiffusionModel::kLinearThreshold;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, options);
+  oracle.AddSeed(0);
+  // Weight-1 in-edges make LT deterministic on the path.
+  EXPECT_NEAR(oracle.total_coverage(), 4.0, 1e-9);
+}
+
+TEST(InfluenceOracleTest, DeterministicAcrossRuns) {
+  Rng rng(12);
+  SbmParams params;
+  params.num_nodes = 150;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  OracleOptions options;
+  options.num_worlds = 30;
+  options.deadline = 6;
+  InfluenceOracle a(&gg.graph, &gg.groups, options);
+  InfluenceOracle b(&gg.graph, &gg.groups, options);
+  for (const NodeId s : {10, 20, 30}) {
+    const GroupVector ga = a.AddSeed(s);
+    const GroupVector gb = b.AddSeed(s);
+    for (size_t g = 0; g < ga.size(); ++g) EXPECT_DOUBLE_EQ(ga[g], gb[g]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: on fixed worlds the estimate is a coverage function, so it
+// must be monotone and submodular EXACTLY (not just in expectation).
+// ---------------------------------------------------------------------------
+
+class OracleLawsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleLawsTest, MonotoneAndSubmodularOnFixedWorlds) {
+  const int config = GetParam();
+  const int deadline = (config % 3 == 0) ? 2 : (config % 3 == 1) ? 5 : kNoDeadline;
+  Rng rng(1000 + config);
+  SbmParams params;
+  params.num_nodes = 80;
+  params.p_hom = 0.06;
+  params.p_het = 0.02;
+  params.activation_probability = 0.3;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+
+  OracleOptions options;
+  options.num_worlds = 25;
+  options.deadline = deadline;
+  options.seed = 500 + config;
+
+  // Random chain A ⊆ A' and element a ∉ A'.
+  Rng pick(2000 + config);
+  std::vector<NodeId> a_small, a_large;
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    const double coin = pick.NextDouble();
+    if (coin < 0.05) a_small.push_back(v);
+    if (coin < 0.15) a_large.push_back(v);  // superset of a_small
+  }
+  NodeId extra = -1;
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    if (std::find(a_large.begin(), a_large.end(), v) == a_large.end()) {
+      extra = v;
+      break;
+    }
+  }
+  ASSERT_GE(extra, 0);
+
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  auto value = [&](std::vector<NodeId> seeds) {
+    return GroupVectorTotal(oracle.EstimateGroupCoverage(seeds));
+  };
+
+  const double f_small = value(a_small);
+  const double f_large = value(a_large);
+  // Monotone: A ⊆ A' implies f(A) <= f(A').
+  EXPECT_LE(f_small, f_large + 1e-9);
+
+  auto with = [](std::vector<NodeId> base, NodeId v) {
+    base.push_back(v);
+    return base;
+  };
+  const double gain_small = value(with(a_small, extra)) - f_small;
+  const double gain_large = value(with(a_large, extra)) - f_large;
+  // Submodular: marginal gains diminish along the chain.
+  EXPECT_GE(gain_small, gain_large - 1e-9);
+  // Nonnegative marginal gains (monotonicity again).
+  EXPECT_GE(gain_small, -1e-9);
+  EXPECT_GE(gain_large, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, OracleLawsTest,
+                         ::testing::Range(0, 24));
+
+TEST(InfluenceOracleDeathTest, InvalidCandidateAborts) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 2;
+  InfluenceOracle oracle(&fx.graph, &fx.groups, options);
+  EXPECT_DEATH(oracle.AddSeed(99), "out of range");
+}
+
+TEST(InfluenceOracleDeathTest, ZeroWorldsAborts) {
+  PathFixture fx;
+  OracleOptions options;
+  options.num_worlds = 0;
+  EXPECT_DEATH(InfluenceOracle(&fx.graph, &fx.groups, options), "world");
+}
+
+}  // namespace
+}  // namespace tcim

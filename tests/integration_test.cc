@@ -1,0 +1,196 @@
+// End-to-end integration tests: the full pipeline (dataset -> solver ->
+// fresh-world evaluation) on every dataset surrogate, reproducing the
+// paper's qualitative claims at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baselines.h"
+#include "core/experiment.h"
+#include "graph/datasets.h"
+#include "graph/spectral.h"
+
+namespace tcim {
+namespace {
+
+TEST(IllustrativeExampleTest, StandardSolutionPicksTheHubs) {
+  const GroupedGraph gg = datasets::IllustrativeGraph();
+  ExperimentConfig config;
+  config.deadline = kNoDeadline;
+  config.num_worlds = 400;
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, /*budget=*/2);
+  // P1 must pick the two central majority hubs a and b (Figure 1 row 1).
+  std::vector<NodeId> seeds = p1.selection.seeds;
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<NodeId>{datasets::kIllustrativeA,
+                                        datasets::kIllustrativeB}));
+}
+
+TEST(IllustrativeExampleTest, TightDeadlineZeroesOutMinority) {
+  // Figure 1, τ = 2 row: under P1's {a, b}, group V2 gets zero utility.
+  const GroupedGraph gg = datasets::IllustrativeGraph();
+  ExperimentConfig config;
+  config.deadline = 2;
+  config.num_worlds = 400;
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 2);
+  EXPECT_NEAR(p1.report.normalized[1], 0.0, 1e-9);
+  EXPECT_GT(p1.report.normalized[0], 0.2);
+}
+
+TEST(IllustrativeExampleTest, FairSolutionServesBothGroupsAtAnyDeadline) {
+  const GroupedGraph gg = datasets::IllustrativeGraph();
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  for (const int deadline : {2, 4, kNoDeadline}) {
+    ExperimentConfig config;
+    config.deadline = deadline;
+    config.num_worlds = 400;
+    const ExperimentOutcome p4 =
+        RunBudgetExperiment(gg.graph, gg.groups, config, 2, &log_h);
+    const ExperimentOutcome p1 =
+        RunBudgetExperiment(gg.graph, gg.groups, config, 2);
+    EXPECT_GT(p4.report.normalized[1], 0.1)
+        << "tau=" << deadline << ": fair solution abandoned the minority";
+    EXPECT_LT(p4.report.disparity, p1.report.disparity + 1e-9)
+        << "tau=" << deadline;
+  }
+}
+
+TEST(IllustrativeExampleTest, DisparityGrowsAsDeadlineTightens) {
+  // Figure 1 columns: P1's minority utility drops 0.16 -> 0.08 -> 0.00.
+  const GroupedGraph gg = datasets::IllustrativeGraph();
+  double previous_minority = -1.0;
+  for (const int deadline : {2, 4, kNoDeadline}) {
+    ExperimentConfig config;
+    config.deadline = deadline;
+    config.num_worlds = 400;
+    const ExperimentOutcome p1 =
+        RunBudgetExperiment(gg.graph, gg.groups, config, 2);
+    EXPECT_GE(p1.report.normalized[1], previous_minority - 0.02)
+        << "minority utility should not shrink as tau grows";
+    previous_minority = p1.report.normalized[1];
+  }
+}
+
+TEST(SyntheticPipelineTest, FullBudgetAndCoverRun) {
+  Rng rng(7);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  ExperimentConfig config;
+  config.num_worlds = 120;
+  config.deadline = 20;
+
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 30);
+  const ExperimentOutcome p4 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 30, &log_h);
+  EXPECT_LT(p4.report.disparity, p1.report.disparity);
+  EXPECT_GT(p4.report.total, 0.5 * p1.report.total);
+
+  const ExperimentOutcome p2 =
+      RunCoverExperiment(gg.graph, gg.groups, config, 0.2, /*fair=*/false);
+  const ExperimentOutcome p6 =
+      RunCoverExperiment(gg.graph, gg.groups, config, 0.2, /*fair=*/true);
+  EXPECT_TRUE(p2.selection.target_reached);
+  EXPECT_TRUE(p6.selection.target_reached);
+  EXPECT_GE(p6.selection.seeds.size(), p2.selection.seeds.size());
+  EXPECT_LT(p6.report.disparity, p2.report.disparity + 0.05);
+}
+
+TEST(RiceSurrogatePipelineTest, FairBudgetReducesMaxPairDisparity) {
+  Rng rng(9);
+  const GroupedGraph gg = datasets::RiceFacebookSurrogate(rng);
+  ExperimentConfig config;
+  config.num_worlds = 60;  // reduced for test speed (paper: 500)
+  config.deadline = 20;
+
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 30);
+  const ExperimentOutcome p4 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 30, &log_h);
+
+  // Compare on the most-disparate pair under P1 (the paper's reporting).
+  const auto [hi, lo] = MostDisparatePair(p1.report);
+  EXPECT_LT(p4.report.DisparityAmong({hi, lo}),
+            p1.report.DisparityAmong({hi, lo}) + 1e-9);
+}
+
+TEST(FacebookSnapPipelineTest, SpectralGroupsFeedTheSolvers) {
+  Rng rng(11);
+  const GroupedGraph planted = datasets::FacebookSnapSurrogate(rng);
+  SpectralClusteringOptions cluster_options;
+  cluster_options.num_clusters = 5;
+  cluster_options.power_iterations = 60;  // reduced for test speed
+  cluster_options.kmeans_restarts = 3;
+  Rng cluster_rng(13);
+  const GroupAssignment spectral =
+      SpectralClustering(planted.graph, cluster_options, cluster_rng);
+  ASSERT_EQ(spectral.num_groups(), 5);
+
+  ExperimentConfig config;
+  config.num_worlds = 40;
+  config.deadline = 20;
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(planted.graph, spectral, config, 20);
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  const ExperimentOutcome p4 =
+      RunBudgetExperiment(planted.graph, spectral, config, 20, &log_h);
+  EXPECT_EQ(p1.report.normalized.size(), 5u);
+  EXPECT_LE(p4.report.disparity, p1.report.disparity + 0.05);
+}
+
+TEST(InstagramSurrogatePipelineTest, CandidateRestrictedCoverRun) {
+  // Scaled-down Instagram pipeline: 1/100 scale, restricted candidates,
+  // tiny quotas — the Fig-9 protocol end to end.
+  Rng rng(21);
+  const GroupedGraph gg = datasets::InstagramSurrogate(rng, /*scale=*/100);
+  Rng candidate_rng(22);
+  const std::vector<NodeId> candidates =
+      RandomSeeds(gg.graph, 500, candidate_rng);
+
+  ExperimentConfig config;
+  config.deadline = 2;
+  config.num_worlds = 300;
+  config.candidates = &candidates;
+
+  const ExperimentOutcome p2 = RunCoverExperiment(
+      gg.graph, gg.groups, config, /*quota=*/0.002, /*fair=*/false, 100);
+  const ExperimentOutcome p6 = RunCoverExperiment(
+      gg.graph, gg.groups, config, 0.002, /*fair=*/true, 100);
+  EXPECT_TRUE(p2.selection.target_reached);
+  EXPECT_TRUE(p6.selection.target_reached);
+  // P6 serves both genders up to quota on the selection estimate.
+  for (GroupId g = 0; g < 2; ++g) {
+    EXPECT_GE(p6.selection.coverage[g] / gg.groups.GroupSize(g),
+              0.002 - 1e-9);
+  }
+  // All seeds drawn from the candidate set.
+  for (const NodeId s : p6.selection.seeds) {
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), s) !=
+                candidates.end());
+  }
+}
+
+TEST(LinearThresholdPipelineTest, FairnessExtendsToLtModel) {
+  // The paper claims the approach "can easily be extended to the LT model".
+  Rng rng(15);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  ExperimentConfig config;
+  config.num_worlds = 100;
+  config.deadline = 20;
+  config.model = DiffusionModel::kLinearThreshold;
+
+  const ConcaveFunction log_h = ConcaveFunction::Log();
+  const ExperimentOutcome p1 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 20);
+  const ExperimentOutcome p4 =
+      RunBudgetExperiment(gg.graph, gg.groups, config, 20, &log_h);
+  EXPECT_LT(p4.report.disparity, p1.report.disparity + 1e-9);
+  EXPECT_GT(p1.report.total, 0.0);
+}
+
+}  // namespace
+}  // namespace tcim

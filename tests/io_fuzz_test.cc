@@ -1,0 +1,132 @@
+// Failure-injection battery for the parsers: every malformed input must be
+// rejected with a clean error Status (never a crash, never a bogus graph),
+// and every well-formed quirky input must parse to the documented result.
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/io.h"
+
+namespace tcim {
+namespace {
+
+class MalformedEdgeListTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedEdgeListTest, IsRejectedCleanly) {
+  const auto result = ParseEdgeList(GetParam());
+  EXPECT_FALSE(result.ok()) << "input was accepted: [" << GetParam() << "]";
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(result.status().message().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, MalformedEdgeListTest,
+    ::testing::Values(
+        "0",                       // one field
+        "0 1 0.5 extra",           // four fields
+        "a b",                     // non-numeric ids
+        "0 b",                     // one bad id
+        "0x1 2",                   // hex not allowed
+        "1.5 2",                   // fractional id
+        "-1 2",                    // negative source
+        "1 -2",                    // negative target
+        "3 3",                     // self loop
+        "0 1 nan",                 // NaN-ish probability field
+        "0 1 -0.5",                // negative probability
+        "0 1 1.00001",             // probability above one
+        "0 1 0.5x",                // trailing garbage in probability
+        "0 1\n2",                  // second line truncated
+        "0 1\n1 2 3 4 5",          // later line too long
+        "9999999999999999999 1",   // id overflow
+        "0 1 2 "                   // trailing field + space
+        ));
+
+class MalformedGroupFileTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(MalformedGroupFileTest, IsRejectedCleanly) {
+  const auto result = ParseGroupFile(GetParam(), /*num_nodes=*/3);
+  EXPECT_FALSE(result.ok()) << "input was accepted: [" << GetParam() << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, MalformedGroupFileTest,
+                         ::testing::Values(
+                             "",               // all nodes missing
+                             "0 0",            // nodes 1, 2 missing
+                             "0 0\n1 0",       // node 2 missing
+                             "0 0\n1 0\n2",    // truncated line
+                             "0 0\n1 0\n2 x",  // non-numeric group
+                             "0 0\n1 0\n2 -1", // negative group
+                             "0 0\n1 0\n5 0",  // node out of range
+                             "0 0\n1 0\n2 0\nextra tokens here"));
+
+class QuirkyButValidEdgeListTest
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(QuirkyButValidEdgeListTest, ParsesWithExpectedEdgeCount) {
+  const auto [input, expected_edges] = GetParam();
+  const auto result = ParseEdgeList(input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString() << " for ["
+                           << input << "]";
+  EXPECT_EQ(result->num_edges(), expected_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, QuirkyButValidEdgeListTest,
+    ::testing::Values(
+        std::make_pair("", 0),                         // empty file
+        std::make_pair("# only a comment\n", 0),       //
+        std::make_pair("\n\n\n", 0),                   // blank lines
+        std::make_pair("0 1", 1),                      // no trailing newline
+        std::make_pair("0 1\r\n1 2\r\n", 2),           // CRLF endings
+        std::make_pair("  0   1  \n", 1),              // extra spaces
+        std::make_pair("\t0\t1\t\n", 1),               // tabs
+        std::make_pair("0 1\n0 1\n", 2),               // parallel edges kept
+        std::make_pair("0 1 0\n", 1),                  // p = 0 allowed
+        std::make_pair("0 1 1\n", 1),                  // p = 1 allowed
+        std::make_pair("5 6\n", 1),                    // ids define n = 7
+        std::make_pair("# c\n0 1\n# c\n1 0\n# c\n", 2)));
+
+TEST(GroupFileQuirksTest, WhitespaceAndCommentsAccepted) {
+  const auto result =
+      ParseGroupFile("# header\n  0 1 \n\n1 0\r\n2 1\n", 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_groups(), 2);
+}
+
+TEST(GroupFileQuirksTest, LaterAssignmentWins) {
+  const auto result = ParseGroupFile("0 0\n1 0\n2 0\n2 1\n", 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->GroupOf(2), 1);
+}
+
+TEST(RoundTripFuzzTest, RandomGraphsSurviveSerialization) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId n = 5 + static_cast<NodeId>(rng.NextIndex(40));
+    GraphBuilder builder(n);
+    const int edges = 1 + static_cast<int>(rng.NextIndex(80));
+    for (int i = 0; i < edges; ++i) {
+      const NodeId a = static_cast<NodeId>(rng.NextIndex(n));
+      const NodeId b = static_cast<NodeId>(rng.NextIndex(n));
+      if (a == b) continue;
+      builder.AddEdge(a, b, rng.NextDouble());
+    }
+    const Graph original = builder.Build();
+    const auto parsed = ParseEdgeList(SerializeEdgeList(original));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed->num_edges(), original.num_edges());
+    for (EdgeId e = 0; e < original.num_edges(); ++e) {
+      EXPECT_EQ(parsed->EdgeSource(e), original.EdgeSource(e));
+      EXPECT_EQ(parsed->EdgeTarget(e), original.EdgeTarget(e));
+      EXPECT_NEAR(parsed->EdgeProbability(e), original.EdgeProbability(e),
+                  1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcim

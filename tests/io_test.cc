@@ -1,0 +1,168 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(ParseEdgeListTest, BasicDirectedEdges) {
+  const auto graph = ParseEdgeList("0 1 0.5\n1 2 0.25\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 3);
+  EXPECT_EQ(graph->num_edges(), 2);
+  EXPECT_NEAR(graph->OutEdges(0)[0].probability, 0.5, 1e-6);
+}
+
+TEST(ParseEdgeListTest, CommentsAndBlankLinesSkipped) {
+  const auto graph = ParseEdgeList("# header\n\n0 1\n  # indented comment\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 1);
+}
+
+TEST(ParseEdgeListTest, DefaultProbabilityApplied) {
+  EdgeListOptions options;
+  options.default_probability = 0.33;
+  const auto graph = ParseEdgeList("0 1\n", options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NEAR(graph->OutEdges(0)[0].probability, 0.33, 1e-6);
+}
+
+TEST(ParseEdgeListTest, UndirectedAddsBothDirections) {
+  EdgeListOptions options;
+  options.undirected = true;
+  const auto graph = ParseEdgeList("0 1 0.5\n", options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 2);
+  EXPECT_EQ(graph->OutDegree(0), 1);
+  EXPECT_EQ(graph->OutDegree(1), 1);
+}
+
+TEST(ParseEdgeListTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseEdgeList("0\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 1 2 3\n").ok());
+  EXPECT_FALSE(ParseEdgeList("a b\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 1 1.5\n").ok());  // probability > 1
+  EXPECT_FALSE(ParseEdgeList("0 0\n").ok());      // self-loop
+  EXPECT_FALSE(ParseEdgeList("-1 0\n").ok());     // negative id
+}
+
+TEST(ParseEdgeListTest, ErrorMessagesIncludeLineNumber) {
+  const auto result = ParseEdgeList("0 1\nbroken\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(EdgeListRoundTripTest, SerializeThenParse) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 0.5).AddEdge(2, 3, 0.125).AddEdge(1, 0, 0.75);
+  const Graph original = builder.Build();
+  const auto parsed = ParseEdgeList(SerializeEdgeList(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(parsed->EdgeSource(e), original.EdgeSource(e));
+    EXPECT_EQ(parsed->EdgeTarget(e), original.EdgeTarget(e));
+    EXPECT_NEAR(parsed->EdgeProbability(e), original.EdgeProbability(e), 1e-6);
+  }
+}
+
+TEST(EdgeListFileTest, SaveAndLoad) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.5);
+  const std::string path = testing::TempDir() + "/tcim_io_test.edges";
+  ASSERT_TRUE(SaveEdgeList(builder.Build(), path).ok());
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListFileTest, MissingFileIsIoError) {
+  const auto result = LoadEdgeList("/definitely/not/a/file");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ParseGroupFileTest, ParsesAssignments) {
+  const auto groups = ParseGroupFile("0 0\n1 1\n2 0\n", 3);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->num_groups(), 2);
+  EXPECT_EQ(groups->GroupOf(2), 0);
+}
+
+TEST(ParseGroupFileTest, MissingNodeIsError) {
+  EXPECT_FALSE(ParseGroupFile("0 0\n", 2).ok());
+}
+
+TEST(ParseGroupFileTest, OutOfRangeNodeIsError) {
+  EXPECT_FALSE(ParseGroupFile("0 0\n5 0\n", 2).ok());
+}
+
+TEST(GroupsRoundTripTest, SerializeThenParse) {
+  const GroupAssignment original({0, 1, 1, 2, 0});
+  const auto parsed = ParseGroupFile(SerializeGroups(original), 5);
+  ASSERT_TRUE(parsed.ok());
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(parsed->GroupOf(v), original.GroupOf(v));
+  }
+}
+
+TEST(GroupsFileTest, SaveAndLoad) {
+  const GroupAssignment original({0, 0, 1});
+  const std::string path = testing::TempDir() + "/tcim_groups_test.txt";
+  ASSERT_TRUE(SaveGroups(original, path).ok());
+  const auto loaded = LoadGroupFile(path, 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_groups(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(ParseSeedFileTest, ParsesIdsInOrder) {
+  const auto seeds = ParseSeedFile("# seeds\n3\n1\n2\n", 5);
+  ASSERT_TRUE(seeds.ok());
+  EXPECT_EQ(*seeds, (std::vector<NodeId>{3, 1, 2}));
+}
+
+TEST(ParseSeedFileTest, EmptyFileIsEmptySet) {
+  const auto seeds = ParseSeedFile("# nothing\n", 5);
+  ASSERT_TRUE(seeds.ok());
+  EXPECT_TRUE(seeds->empty());
+}
+
+TEST(ParseSeedFileTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSeedFile("1 2\n", 5).ok());   // two fields
+  EXPECT_FALSE(ParseSeedFile("abc\n", 5).ok());   // non-numeric
+  EXPECT_FALSE(ParseSeedFile("-1\n", 5).ok());    // negative
+  EXPECT_FALSE(ParseSeedFile("7\n", 5).ok());     // out of range
+}
+
+TEST(ParseSeedFileTest, DuplicatesPreserved) {
+  const auto seeds = ParseSeedFile("2\n2\n", 5);
+  ASSERT_TRUE(seeds.ok());
+  EXPECT_EQ(seeds->size(), 2u);
+}
+
+TEST(SeedFileTest, LoadFromDisk) {
+  const std::string path = testing::TempDir() + "/tcim_seeds_test.txt";
+  ASSERT_TRUE(WriteStringToFile("0\n2\n", path).ok());
+  const auto seeds = LoadSeedFile(path, 3);
+  ASSERT_TRUE(seeds.ok());
+  EXPECT_EQ(*seeds, (std::vector<NodeId>{0, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(ReadWriteFileTest, RoundTripsBinaryContent) {
+  const std::string path = testing::TempDir() + "/tcim_raw_test.bin";
+  const std::string payload = std::string("abc\0def\nxyz", 11);
+  ASSERT_TRUE(WriteStringToFile(payload, path).ok());
+  const auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tcim

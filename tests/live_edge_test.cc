@@ -1,0 +1,138 @@
+#include "sim/live_edge.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+Graph SmallGraph() {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 0.5);
+  builder.AddEdge(0, 2, 0.25);
+  builder.AddEdge(1, 3, 0.75);
+  builder.AddEdge(2, 3, 1.0);
+  return builder.Build();
+}
+
+TEST(WorldSamplerTest, DeterministicPerWorldAndEdge) {
+  const Graph graph = SmallGraph();
+  WorldSampler sampler(&graph, DiffusionModel::kIndependentCascade, 42);
+  for (uint32_t world = 0; world < 10; ++world) {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      EXPECT_EQ(sampler.IsLive(world, e), sampler.IsLive(world, e));
+    }
+  }
+}
+
+TEST(WorldSamplerTest, DifferentSeedsGiveDifferentWorlds) {
+  const Graph graph = SmallGraph();
+  WorldSampler a(&graph, DiffusionModel::kIndependentCascade, 1);
+  WorldSampler b(&graph, DiffusionModel::kIndependentCascade, 2);
+  int differing = 0;
+  for (uint32_t world = 0; world < 200; ++world) {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (a.IsLive(world, e) != b.IsLive(world, e)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(WorldSamplerTest, IcLivenessFrequencyMatchesProbability) {
+  const Graph graph = SmallGraph();
+  WorldSampler sampler(&graph, DiffusionModel::kIndependentCascade, 7);
+  const int worlds = 40000;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    int live = 0;
+    for (uint32_t world = 0; world < static_cast<uint32_t>(worlds); ++world) {
+      if (sampler.IsLive(world, e)) ++live;
+    }
+    const double expected = graph.EdgeProbability(e);
+    EXPECT_NEAR(static_cast<double>(live) / worlds, expected,
+                4 * std::sqrt(expected * (1 - expected) / worlds) + 1e-9)
+        << "edge " << e;
+  }
+}
+
+TEST(WorldSamplerTest, SureEdgeAlwaysLive) {
+  const Graph graph = SmallGraph();  // edge 2->3 has p = 1.0
+  WorldSampler sampler(&graph, DiffusionModel::kIndependentCascade, 7);
+  EdgeId sure_edge = -1;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (graph.EdgeProbability(e) == 1.0) sure_edge = e;
+  }
+  ASSERT_GE(sure_edge, 0);
+  for (uint32_t world = 0; world < 1000; ++world) {
+    EXPECT_TRUE(sampler.IsLive(world, sure_edge));
+  }
+}
+
+TEST(WorldSamplerTest, UnitCoinIsUniform) {
+  const Graph graph = SmallGraph();
+  WorldSampler sampler(&graph, DiffusionModel::kIndependentCascade, 3);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double coin = sampler.UnitCoin(i, 0);
+    EXPECT_GE(coin, 0.0);
+    EXPECT_LT(coin, 1.0);
+    sum += coin;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(LinearThresholdChoiceTest, AtMostOneLiveInEdgePerNode) {
+  const Graph graph = SmallGraph();
+  WorldSampler sampler(&graph, DiffusionModel::kLinearThreshold, 11);
+  for (uint32_t world = 0; world < 500; ++world) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      int live_in = 0;
+      for (const AdjacentEdge& in_edge : graph.InEdges(v)) {
+        if (sampler.IsLive(world, in_edge.edge_id)) ++live_in;
+      }
+      EXPECT_LE(live_in, 1) << "node " << v << " world " << world;
+    }
+  }
+}
+
+TEST(LinearThresholdChoiceTest, SelectionFrequencyProportionalToWeight) {
+  // Node 3 has in-edges with weights 0.75 (from 1) and... make a clean case:
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2, 0.6);
+  builder.AddEdge(1, 2, 0.3);
+  const Graph graph = builder.Build();
+  WorldSampler sampler(&graph, DiffusionModel::kLinearThreshold, 13);
+  const int worlds = 30000;
+  int from0 = 0, from1 = 0, none = 0;
+  for (uint32_t world = 0; world < static_cast<uint32_t>(worlds); ++world) {
+    const EdgeId chosen = sampler.LinearThresholdChoice(world, 2);
+    if (chosen == -1) {
+      ++none;
+    } else if (graph.EdgeSource(chosen) == 0) {
+      ++from0;
+    } else {
+      ++from1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(from0) / worlds, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(from1) / worlds, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(none) / worlds, 0.1, 0.01);
+}
+
+TEST(LinearThresholdChoiceTest, NoInEdgesMeansNoChoice) {
+  const Graph graph = SmallGraph();
+  WorldSampler sampler(&graph, DiffusionModel::kLinearThreshold, 17);
+  for (uint32_t world = 0; world < 100; ++world) {
+    EXPECT_EQ(sampler.LinearThresholdChoice(world, 0), -1);  // node 0: no in
+  }
+}
+
+TEST(DiffusionModelNameTest, Names) {
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kIndependentCascade), "IC");
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kLinearThreshold), "LT");
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,130 @@
+#include "core/maximin.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/budget.h"
+#include "core/fairness.h"
+#include "graph/datasets.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+namespace {
+
+class MaximinTest : public ::testing::Test {
+ protected:
+  MaximinTest() : gg_(MakeGraph()) {
+    options_.num_worlds = 100;
+    options_.deadline = 20;
+  }
+  static GroupedGraph MakeGraph() {
+    Rng rng(77);
+    return datasets::SyntheticDefault(rng);
+  }
+  GroupedGraph gg_;
+  OracleOptions options_;
+};
+
+TEST_F(MaximinTest, RespectsBudget) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  MaximinOptions maximin;
+  maximin.budget = 10;
+  const MaximinResult result = SolveMaximinTcim(oracle, maximin);
+  EXPECT_LE(result.seeds.size(), 10u);
+  EXPECT_GT(result.probes, 0);
+}
+
+TEST_F(MaximinTest, RelaxedBudgetCapHonored) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  MaximinOptions maximin;
+  maximin.budget = 10;
+  maximin.budget_relaxation = 1.5;
+  const MaximinResult result = SolveMaximinTcim(oracle, maximin);
+  EXPECT_LE(result.seeds.size(), 15u);
+}
+
+TEST_F(MaximinTest, BeatsP1OnMinGroupUtility) {
+  // The whole point of maximin: the worst-served group does far better
+  // than under plain total-influence maximization.
+  MaximinOptions maximin;
+  maximin.budget = 20;
+  InfluenceOracle oracle_mm(&gg_.graph, &gg_.groups, options_);
+  const MaximinResult mm = SolveMaximinTcim(oracle_mm, maximin);
+
+  InfluenceOracle oracle_p1(&gg_.graph, &gg_.groups, options_);
+  BudgetOptions budget;
+  budget.budget = 20;
+  const GreedyResult p1 = SolveTcimBudget(oracle_p1, budget);
+  double p1_min = 1.0;
+  for (GroupId g = 0; g < gg_.groups.num_groups(); ++g) {
+    p1_min = std::min(p1_min, p1.coverage[g] / gg_.groups.GroupSize(g));
+  }
+  EXPECT_GT(mm.min_group_utility, p1_min);
+}
+
+TEST_F(MaximinTest, SaturationLevelConsistentWithCoverage) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  MaximinOptions maximin;
+  maximin.budget = 20;
+  const MaximinResult result = SolveMaximinTcim(oracle, maximin);
+  // The achieved min-group utility should be at least (close to) the
+  // feasible saturation level found by the bisection.
+  EXPECT_GE(result.min_group_utility,
+            result.saturation_level - maximin.level_tolerance - 1e-9);
+}
+
+TEST_F(MaximinTest, OracleLeftHoldingReturnedSeeds) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  MaximinOptions maximin;
+  maximin.budget = 8;
+  const MaximinResult result = SolveMaximinTcim(oracle, maximin);
+  EXPECT_EQ(oracle.seeds(), result.seeds);
+  for (size_t g = 0; g < result.coverage.size(); ++g) {
+    EXPECT_NEAR(oracle.group_coverage()[g], result.coverage[g], 1e-9);
+  }
+}
+
+TEST_F(MaximinTest, ZeroBudgetReturnsEmpty) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups, options_);
+  MaximinOptions maximin;
+  maximin.budget = 0;
+  const MaximinResult result = SolveMaximinTcim(oracle, maximin);
+  EXPECT_TRUE(result.seeds.empty());
+  EXPECT_DOUBLE_EQ(result.min_group_utility, 0.0);
+}
+
+TEST_F(MaximinTest, MaximinVsParityTradeoff) {
+  // Maximin lifts the floor; P4-parity targets equal levels. Both must
+  // dominate P1 on the minority, and their disparities should be in the
+  // same ballpark on this instance.
+  MaximinOptions maximin;
+  maximin.budget = 20;
+  InfluenceOracle oracle_mm(&gg_.graph, &gg_.groups, options_);
+  const MaximinResult mm = SolveMaximinTcim(oracle_mm, maximin);
+
+  InfluenceOracle oracle_p4(&gg_.graph, &gg_.groups, options_);
+  BudgetOptions budget;
+  budget.budget = 20;
+  const GreedyResult p4 =
+      SolveFairTcimBudget(oracle_p4, ConcaveFunction::Log(), budget);
+
+  const double mm_minority = mm.coverage[1] / gg_.groups.GroupSize(1);
+  const double p4_minority = p4.coverage[1] / gg_.groups.GroupSize(1);
+  EXPECT_GT(mm_minority, 0.02);
+  EXPECT_GT(p4_minority, 0.02);
+}
+
+TEST(MaximinDeathTest, BadRelaxationAborts) {
+  Rng rng(1);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  OracleOptions options;
+  options.num_worlds = 10;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, options);
+  MaximinOptions maximin;
+  maximin.budget_relaxation = 0.5;
+  EXPECT_DEATH(SolveMaximinTcim(oracle, maximin), "relaxation");
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,111 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder builder(3);
+  builder.AddUndirectedEdge(0, 1, 0.5);
+  builder.AddUndirectedEdge(1, 2, 0.5);
+  builder.AddUndirectedEdge(2, 0, 0.5);
+  return builder.Build();
+}
+
+Graph Star(NodeId leaves) {
+  GraphBuilder builder(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) builder.AddUndirectedEdge(0, v, 0.5);
+  return builder.Build();
+}
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Triangle()), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Triangle()), 1.0);
+}
+
+TEST(ClusteringTest, StarHasNoTriangles) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Star(5)), 0.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Star(5)), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendant) {
+  // Triangle {0,1,2} + pendant 3 on 0: 1 triangle, triples:
+  // deg(0)=3 -> 3, deg(1)=deg(2)=2 -> 1 each, deg(3)=1 -> 0; total 5.
+  GraphBuilder builder(4);
+  builder.AddUndirectedEdge(0, 1, 0.5);
+  builder.AddUndirectedEdge(1, 2, 0.5);
+  builder.AddUndirectedEdge(2, 0, 0.5);
+  builder.AddUndirectedEdge(0, 3, 0.5);
+  const Graph graph = builder.Build();
+  EXPECT_NEAR(GlobalClusteringCoefficient(graph), 3.0 / 5.0, 1e-12);
+}
+
+TEST(ClusteringTest, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(GraphBuilder(4).Build()), 0.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(GraphBuilder(0).Build()), 0.0);
+}
+
+TEST(AssortativityTest, StarIsDisassortative) {
+  // Hubs link only to leaves: strongly negative degree correlation.
+  EXPECT_LT(DegreeAssortativity(Star(6)), -0.9);
+}
+
+TEST(AssortativityTest, RegularGraphReportsZero) {
+  // A cycle is 2-regular: degree variance 0 -> defined as 0 here.
+  GraphBuilder builder(5);
+  for (NodeId v = 0; v < 5; ++v) {
+    builder.AddUndirectedEdge(v, (v + 1) % 5, 0.5);
+  }
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(builder.Build()), 0.0);
+}
+
+TEST(ModularityTest, DisjointCliquesNearHalf) {
+  // Two equal disjoint cliques under their natural partition: Q = 1/2.
+  GraphBuilder builder(8);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) builder.AddUndirectedEdge(u, v, 0.5);
+  }
+  for (NodeId u = 4; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) builder.AddUndirectedEdge(u, v, 0.5);
+  }
+  const GroupAssignment partition({0, 0, 0, 0, 1, 1, 1, 1});
+  EXPECT_NEAR(Modularity(builder.Build(), partition), 0.5, 1e-12);
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  const GroupAssignment partition = GroupAssignment::SingleGroup(3);
+  EXPECT_NEAR(Modularity(Triangle(), partition), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, PlantedCommunitiesScoreHigh) {
+  Rng rng(3);
+  const GroupedGraph gg = datasets::FacebookSnapSurrogate(rng);
+  EXPECT_GT(Modularity(gg.graph, gg.groups), 0.5);
+}
+
+TEST(HomophilyIndexTest, AllWithinGroup) {
+  const GroupAssignment groups({0, 0, 0});
+  EXPECT_DOUBLE_EQ(HomophilyIndex(Triangle(), groups), 1.0);
+}
+
+TEST(HomophilyIndexTest, MixedEdges) {
+  // Triangle with nodes in groups {0,0,1}: edges 0-1 same, 1-2 and 2-0
+  // across -> homophily 1/3.
+  const GroupAssignment groups({0, 0, 1});
+  EXPECT_NEAR(HomophilyIndex(Triangle(), groups), 1.0 / 3.0, 1e-12);
+}
+
+TEST(HomophilyIndexTest, SbmDefaultsAreHomophilous) {
+  Rng rng(5);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  // p_hom = 25 x p_het: nearly all edges within groups.
+  EXPECT_GT(HomophilyIndex(gg.graph, gg.groups), 0.9);
+}
+
+}  // namespace
+}  // namespace tcim

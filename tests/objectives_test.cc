@@ -1,0 +1,201 @@
+#include "core/objectives.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tcim {
+namespace {
+
+TEST(TotalInfluenceObjectiveTest, SumsGroups) {
+  TotalInfluenceObjective objective;
+  EXPECT_DOUBLE_EQ(objective.Value({2.0, 3.0, 4.5}), 9.5);
+  EXPECT_DOUBLE_EQ(objective.Value({}), 0.0);
+}
+
+TEST(ObjectiveGainTest, GainIsValueDifference) {
+  TotalInfluenceObjective objective;
+  EXPECT_DOUBLE_EQ(objective.Gain({1.0, 1.0}, {0.5, 2.0}), 2.5);
+}
+
+TEST(ConcaveSumObjectiveTest, IdentityEqualsTotal) {
+  const GroupAssignment groups({0, 0, 1});
+  ConcaveSumObjective objective(ConcaveFunction::Identity(), &groups);
+  EXPECT_DOUBLE_EQ(objective.Value({2.0, 5.0}), 7.0);
+}
+
+TEST(ConcaveSumObjectiveTest, LogAppliedPerGroup) {
+  const GroupAssignment groups({0, 1});
+  ConcaveSumObjective objective(ConcaveFunction::Log(), &groups);
+  EXPECT_DOUBLE_EQ(objective.Value({1.0, 3.0}),
+                   std::log1p(1.0) + std::log1p(3.0));
+}
+
+TEST(ConcaveSumObjectiveTest, FavorsBalancedCoverage) {
+  // Same total, balanced vs skewed: concavity must prefer balance.
+  const GroupAssignment groups({0, 1});
+  ConcaveSumObjective objective(ConcaveFunction::Log(), &groups);
+  EXPECT_GT(objective.Value({5.0, 5.0}), objective.Value({9.0, 1.0}));
+}
+
+TEST(ConcaveSumObjectiveTest, WeightsScaleGroups) {
+  const GroupAssignment groups({0, 1});
+  ConcaveSumObjective::Options options;
+  options.weights = {1.0, 2.0};
+  ConcaveSumObjective objective(ConcaveFunction::Identity(), &groups, options);
+  EXPECT_DOUBLE_EQ(objective.Value({3.0, 4.0}), 3.0 + 8.0);
+}
+
+TEST(ConcaveSumObjectiveTest, NormalizationDividesByGroupSize) {
+  const GroupAssignment groups({0, 0, 0, 0, 1});  // sizes 4 and 1
+  ConcaveSumObjective::Options options;
+  options.normalize_by_group_size = true;
+  ConcaveSumObjective objective(ConcaveFunction::Identity(), &groups, options);
+  EXPECT_DOUBLE_EQ(objective.Value({2.0, 1.0}), 0.5 + 1.0);
+}
+
+TEST(ConcaveSumObjectiveTest, NameIncludesWrapper) {
+  const GroupAssignment groups({0});
+  ConcaveSumObjective objective(ConcaveFunction::Sqrt(), &groups);
+  EXPECT_EQ(objective.name(), "concave_sum(sqrt)");
+}
+
+TEST(ConcaveSumObjectiveDeathTest, WrongWeightArityAborts) {
+  const GroupAssignment groups({0, 1});
+  ConcaveSumObjective::Options options;
+  options.weights = {1.0};
+  EXPECT_DEATH(
+      ConcaveSumObjective(ConcaveFunction::Log(), &groups, options),
+      "arity");
+}
+
+TEST(TruncatedQuotaObjectiveTest, TruncatesAtQuota) {
+  const GroupAssignment groups({0, 0, 0, 0, 1, 1});  // sizes 4 and 2
+  TruncatedQuotaObjective objective(0.5, &groups);
+  // Group 0: 1/4 = 0.25 < 0.5; group 1: 2/2 = 1.0 -> truncated to 0.5.
+  EXPECT_DOUBLE_EQ(objective.Value({1.0, 2.0}), 0.25 + 0.5);
+}
+
+TEST(TruncatedQuotaObjectiveTest, SaturationValueIsKQ) {
+  const GroupAssignment groups({0, 1, 2});
+  TruncatedQuotaObjective objective(0.2, &groups);
+  EXPECT_DOUBLE_EQ(objective.SaturationValue(), 0.6);
+}
+
+TEST(TruncatedQuotaObjectiveTest, SaturatedExactlyWhenAllGroupsMeetQuota) {
+  const GroupAssignment groups({0, 0, 1, 1});
+  TruncatedQuotaObjective objective(0.5, &groups);
+  EXPECT_DOUBLE_EQ(objective.Value({1.0, 1.0}), objective.SaturationValue());
+  EXPECT_LT(objective.Value({1.0, 0.5}), objective.SaturationValue());
+}
+
+TEST(TruncatedQuotaObjectiveTest, ExtraCoverageBeyondQuotaIsWorthless) {
+  // The Fig-3 mechanism: once a group reaches Q, more coverage there adds 0.
+  const GroupAssignment groups({0, 0, 1, 1});
+  TruncatedQuotaObjective objective(0.5, &groups);
+  const double before = objective.Value({1.0, 0.0});
+  EXPECT_DOUBLE_EQ(objective.Gain({1.0, 0.0}, {1.0, 0.0}), 0.0);
+  EXPECT_GT(objective.Gain({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(objective.Value({2.0, 0.0}), before);
+}
+
+TEST(TotalQuotaObjectiveTest, TruncatesTotalFraction) {
+  TotalQuotaObjective objective(0.3, /*num_nodes=*/10);
+  EXPECT_DOUBLE_EQ(objective.Value({1.0, 1.0}), 0.2);
+  EXPECT_DOUBLE_EQ(objective.Value({2.0, 2.0}), 0.3);  // truncated
+  EXPECT_DOUBLE_EQ(objective.SaturationValue(), 0.3);
+}
+
+TEST(TotalQuotaObjectiveDeathTest, RejectsBadQuota) {
+  EXPECT_DEATH(TotalQuotaObjective(1.5, 10), "quota");
+  const GroupAssignment groups({0});
+  EXPECT_DEATH(TruncatedQuotaObjective(-0.1, &groups), "quota");
+}
+
+// ---------------------------------------------------------------------------
+// Objective laws, parameterized over every objective type: nondecreasing in
+// each coordinate, and diminishing gains as the base coverage grows — the
+// properties RunGreedy's correctness (and CELF's staleness bound) rest on.
+// ---------------------------------------------------------------------------
+
+class ObjectiveLawsTest : public ::testing::TestWithParam<int> {
+ protected:
+  // Three groups with sizes 5, 3, 2.
+  ObjectiveLawsTest() : groups_({0, 0, 0, 0, 0, 1, 1, 1, 2, 2}) {}
+
+  std::unique_ptr<Objective> MakeObjective() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<TotalInfluenceObjective>();
+      case 1:
+        return std::make_unique<ConcaveSumObjective>(ConcaveFunction::Log(),
+                                                     &groups_);
+      case 2:
+        return std::make_unique<ConcaveSumObjective>(ConcaveFunction::Sqrt(),
+                                                     &groups_);
+      case 3: {
+        ConcaveSumObjective::Options options;
+        options.weights = {1.0, 2.0, 4.0};
+        return std::make_unique<ConcaveSumObjective>(
+            ConcaveFunction::AlphaFair(2.0), &groups_, options);
+      }
+      case 4: {
+        ConcaveSumObjective::Options options;
+        options.normalize_by_group_size = true;
+        return std::make_unique<ConcaveSumObjective>(ConcaveFunction::Log(),
+                                                     &groups_, options);
+      }
+      case 5:
+        return std::make_unique<TruncatedQuotaObjective>(0.4, &groups_);
+      default:
+        return std::make_unique<TotalQuotaObjective>(0.5, 10);
+    }
+  }
+
+  GroupAssignment groups_;
+};
+
+TEST_P(ObjectiveLawsTest, NondecreasingInEachCoordinate) {
+  const auto objective = MakeObjective();
+  Rng rng(123 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    GroupVector base = {rng.Uniform(0, 4), rng.Uniform(0, 2),
+                        rng.Uniform(0, 1.5)};
+    for (size_t g = 0; g < base.size(); ++g) {
+      GroupVector bumped = base;
+      bumped[g] += rng.Uniform(0, 1);
+      EXPECT_GE(objective->Value(bumped), objective->Value(base) - 1e-12);
+    }
+  }
+}
+
+TEST_P(ObjectiveLawsTest, GainsDiminishInBaseCoverage) {
+  const auto objective = MakeObjective();
+  Rng rng(456 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    GroupVector small = {rng.Uniform(0, 2), rng.Uniform(0, 1),
+                         rng.Uniform(0, 0.8)};
+    GroupVector large = small;
+    for (double& c : large) c += rng.Uniform(0, 2);
+    GroupVector marginal = {rng.Uniform(0, 1), rng.Uniform(0, 1),
+                            rng.Uniform(0, 0.5)};
+    EXPECT_GE(objective->Gain(small, marginal),
+              objective->Gain(large, marginal) - 1e-12);
+  }
+}
+
+TEST_P(ObjectiveLawsTest, ZeroMarginalHasZeroGain) {
+  const auto objective = MakeObjective();
+  const GroupVector base = {1.0, 0.5, 0.2};
+  const GroupVector zero = {0.0, 0.0, 0.0};
+  EXPECT_NEAR(objective->Gain(base, zero), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllObjectives, ObjectiveLawsTest,
+                         ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,111 @@
+#include "core/robustness.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest() : gg_(MakeGraph()) {
+    config_.num_worlds = 80;
+    config_.deadline = 20;
+  }
+  static GroupedGraph MakeGraph() {
+    Rng rng(44);
+    return datasets::SyntheticDefault(rng);
+  }
+  GroupedGraph gg_;
+  ExperimentConfig config_;
+};
+
+TEST_F(RobustnessTest, FullSurvivalMatchesPlainEvaluation) {
+  const std::vector<NodeId> seeds = {1, 50, 200, 400};
+  SeedDeactivationOptions options;
+  options.survival_probability = 1.0;
+  options.num_patterns = 3;
+  const RobustnessReport report = EvaluateUnderSeedDeactivation(
+      gg_.graph, gg_.groups, seeds, config_, options);
+  const GroupUtilityReport plain =
+      EvaluateSeedSet(gg_.graph, gg_.groups, seeds, config_);
+  EXPECT_NEAR(report.mean.total, plain.total, 1e-9);
+  EXPECT_NEAR(report.worst_total_fraction, plain.total_fraction, 1e-9);
+}
+
+TEST_F(RobustnessTest, ZeroSurvivalGivesNothing) {
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  SeedDeactivationOptions options;
+  options.survival_probability = 0.0;
+  options.num_patterns = 3;
+  const RobustnessReport report = EvaluateUnderSeedDeactivation(
+      gg_.graph, gg_.groups, seeds, config_, options);
+  EXPECT_NEAR(report.mean.total, 0.0, 1e-9);
+  EXPECT_NEAR(report.worst_total_fraction, 0.0, 1e-9);
+}
+
+TEST_F(RobustnessTest, PartialSurvivalDegradesGracefully) {
+  const std::vector<NodeId> seeds = {1, 50, 200, 400, 90, 137};
+  SeedDeactivationOptions options;
+  options.survival_probability = 0.5;
+  options.num_patterns = 60;
+  const RobustnessReport report = EvaluateUnderSeedDeactivation(
+      gg_.graph, gg_.groups, seeds, config_, options);
+  const GroupUtilityReport plain =
+      EvaluateSeedSet(gg_.graph, gg_.groups, seeds, config_);
+  // Mean under 50% survival sits strictly between 0 and the full utility.
+  EXPECT_GT(report.mean.total, 0.0);
+  EXPECT_LT(report.mean.total, plain.total);
+  // Worst pattern cannot beat the full set (monotonicity).
+  EXPECT_LE(report.worst_total_fraction, plain.total_fraction + 1e-9);
+}
+
+TEST_F(RobustnessTest, WorstStatisticsBracketMean) {
+  const std::vector<NodeId> seeds = {1, 50, 200};
+  SeedDeactivationOptions options;
+  options.survival_probability = 0.7;
+  options.num_patterns = 40;
+  const RobustnessReport report = EvaluateUnderSeedDeactivation(
+      gg_.graph, gg_.groups, seeds, config_, options);
+  EXPECT_LE(report.worst_total_fraction, report.mean.total_fraction + 1e-9);
+  EXPECT_GE(report.worst_disparity, report.mean.disparity - 1e-9);
+}
+
+TEST_F(RobustnessTest, ScaledProbabilitiesOneIsIdentity) {
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  const GroupUtilityReport scaled = EvaluateWithScaledProbabilities(
+      gg_.graph, gg_.groups, seeds, config_, 1.0);
+  const GroupUtilityReport plain =
+      EvaluateSeedSet(gg_.graph, gg_.groups, seeds, config_);
+  EXPECT_NEAR(scaled.total, plain.total, 1e-9);
+}
+
+TEST_F(RobustnessTest, ScalingDownShrinksInfluence) {
+  const std::vector<NodeId> seeds = {1, 50, 200, 400};
+  const GroupUtilityReport half = EvaluateWithScaledProbabilities(
+      gg_.graph, gg_.groups, seeds, config_, 0.5);
+  const GroupUtilityReport full =
+      EvaluateSeedSet(gg_.graph, gg_.groups, seeds, config_);
+  EXPECT_LT(half.total, full.total);
+  EXPECT_GE(half.total, static_cast<double>(seeds.size()) - 1e-9);
+}
+
+TEST_F(RobustnessTest, ScalingUpGrowsInfluence) {
+  const std::vector<NodeId> seeds = {1, 50, 200, 400};
+  const GroupUtilityReport boosted = EvaluateWithScaledProbabilities(
+      gg_.graph, gg_.groups, seeds, config_, 2.0);
+  const GroupUtilityReport full =
+      EvaluateSeedSet(gg_.graph, gg_.groups, seeds, config_);
+  EXPECT_GT(boosted.total, full.total);
+}
+
+TEST_F(RobustnessTest, ScaleZeroLeavesOnlySeeds) {
+  const std::vector<NodeId> seeds = {1, 2, 3, 4};
+  const GroupUtilityReport report = EvaluateWithScaledProbabilities(
+      gg_.graph, gg_.groups, seeds, config_, 0.0);
+  EXPECT_NEAR(report.total, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tcim

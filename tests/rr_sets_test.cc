@@ -1,0 +1,261 @@
+#include "sim/rr_sets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+TEST(RrSketchTest, RootAlwaysInItsSet) {
+  Rng rng(1);
+  SbmParams params;
+  params.num_nodes = 100;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions options;
+  options.sets_per_group = 200;
+  options.deadline = 3;
+  RrSketch sketch(&gg.graph, &gg.groups, options);
+  for (int s = 0; s < sketch.num_sets(); ++s) {
+    const auto& members = sketch.SetMembers(s);
+    ASSERT_FALSE(members.empty());
+    // The first member is the root; its group must match the set's group.
+    EXPECT_EQ(gg.groups.GroupOf(members[0]), sketch.SetRootGroup(s));
+  }
+}
+
+TEST(RrSketchTest, SetsPerGroupBalanced) {
+  Rng rng(2);
+  SbmParams params;
+  params.num_nodes = 100;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions options;
+  options.sets_per_group = 150;
+  RrSketch sketch(&gg.graph, &gg.groups, options);
+  EXPECT_EQ(sketch.num_sets(), 300);
+  int per_group[2] = {0, 0};
+  for (int s = 0; s < sketch.num_sets(); ++s) {
+    per_group[sketch.SetRootGroup(s)]++;
+  }
+  EXPECT_EQ(per_group[0], 150);
+  EXPECT_EQ(per_group[1], 150);
+}
+
+TEST(RrSketchTest, SurePathReverseReachability) {
+  // Path 0 -> 1 -> 2 with sure edges, τ = ∞: RR set of root 2 is {2,1,0}.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1.0).AddEdge(1, 2, 1.0);
+  const Graph graph = builder.Build();
+  const GroupAssignment groups = GroupAssignment::SingleGroup(3);
+  RrSketchOptions options;
+  options.sets_per_group = 50;
+  RrSketch sketch(&graph, &groups, options);
+  for (int s = 0; s < sketch.num_sets(); ++s) {
+    const auto& members = sketch.SetMembers(s);
+    const NodeId root = members[0];
+    // With sure edges every ancestor of the root must be in the set.
+    EXPECT_EQ(members.size(), static_cast<size_t>(root + 1));
+  }
+}
+
+TEST(RrSketchTest, DeadlineBoundsSetRadius) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0).AddEdge(1, 2, 1.0).AddEdge(2, 3, 1.0);
+  const Graph graph = builder.Build();
+  const GroupAssignment groups = GroupAssignment::SingleGroup(4);
+  RrSketchOptions options;
+  options.sets_per_group = 100;
+  options.deadline = 1;
+  RrSketch sketch(&graph, &groups, options);
+  for (int s = 0; s < sketch.num_sets(); ++s) {
+    EXPECT_LE(sketch.SetMembers(s).size(), 2u);  // root + 1 hop
+  }
+}
+
+TEST(RrSketchTest, EstimateAgreesWithMonteCarloOracle) {
+  Rng rng(7);
+  SbmParams params;
+  params.num_nodes = 200;
+  params.activation_probability = 0.1;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+
+  RrSketchOptions rr_options;
+  rr_options.sets_per_group = 8000;
+  rr_options.deadline = 5;
+  RrSketch sketch(&gg.graph, &gg.groups, rr_options);
+
+  OracleOptions mc_options;
+  mc_options.num_worlds = 4000;
+  mc_options.deadline = 5;
+  InfluenceOracle oracle(&gg.graph, &gg.groups, mc_options);
+
+  const std::vector<NodeId> seeds = {3, 50, 120, 180};
+  const GroupVector rr = sketch.EstimateGroupCoverage(seeds);
+  const GroupVector mc = oracle.EstimateGroupCoverage(seeds);
+  for (size_t g = 0; g < rr.size(); ++g) {
+    // Both are unbiased estimators of the same quantity.
+    EXPECT_NEAR(rr[g], mc[g], 0.15 * std::max(1.0, mc[g]))
+        << "group " << g;
+  }
+}
+
+TEST(RrSketchTest, BudgetSelectionCoversMoreThanRandom) {
+  Rng rng(11);
+  SbmParams params;
+  params.num_nodes = 300;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions options;
+  options.sets_per_group = 2000;
+  options.deadline = 10;
+  RrSketch sketch(&gg.graph, &gg.groups, options);
+
+  const auto greedy_seeds =
+      sketch.SelectSeedsBudget(10, [](double z) { return z; });
+  ASSERT_EQ(greedy_seeds.size(), 10u);
+
+  Rng pick(13);
+  std::vector<NodeId> random_seeds;
+  for (int i = 0; i < 10; ++i) {
+    random_seeds.push_back(static_cast<NodeId>(pick.NextIndex(300)));
+  }
+  const double greedy_total =
+      GroupVectorTotal(sketch.EstimateGroupCoverage(greedy_seeds));
+  const double random_total =
+      GroupVectorTotal(sketch.EstimateGroupCoverage(random_seeds));
+  EXPECT_GT(greedy_total, random_total);
+}
+
+TEST(RrSketchTest, SelectionHasNoDuplicates) {
+  Rng rng(17);
+  SbmParams params;
+  params.num_nodes = 150;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions options;
+  options.sets_per_group = 500;
+  RrSketch sketch(&gg.graph, &gg.groups, options);
+  auto seeds = sketch.SelectSeedsBudget(20, [](double z) { return z; });
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(RrSketchTest, ConcaveSelectionReducesDisparity) {
+  Rng rng(19);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  RrSketchOptions options;
+  options.sets_per_group = 3000;
+  options.deadline = 20;
+  RrSketch sketch(&gg.graph, &gg.groups, options);
+
+  const auto plain = sketch.SelectSeedsBudget(20, [](double z) { return z; });
+  const auto fair =
+      sketch.SelectSeedsBudget(20, [](double z) { return std::log1p(z); });
+
+  auto disparity = [&](const std::vector<NodeId>& seeds) {
+    const GroupVector cov = sketch.EstimateGroupCoverage(seeds);
+    const double n0 = cov[0] / gg.groups.GroupSize(0);
+    const double n1 = cov[1] / gg.groups.GroupSize(1);
+    return std::abs(n0 - n1);
+  };
+  EXPECT_LT(disparity(fair), disparity(plain) + 1e-9);
+}
+
+TEST(RrSketchTest, CoverSelectionReachesAllGroupQuotas) {
+  Rng rng(23);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  RrSketchOptions options;
+  options.sets_per_group = 3000;
+  options.deadline = 20;
+  RrSketch sketch(&gg.graph, &gg.groups, options);
+
+  const double quota = 0.15;
+  const auto seeds = sketch.SelectSeedsCover(quota, /*max_seeds=*/200);
+  const GroupVector cov = sketch.EstimateGroupCoverage(seeds);
+  for (GroupId g = 0; g < gg.groups.num_groups(); ++g) {
+    EXPECT_GE(cov[g] / gg.groups.GroupSize(g), quota - 0.02) << "group " << g;
+  }
+}
+
+TEST(AdaptiveSizingTest, ShrinksWithLooserEpsilon) {
+  Rng rng(31);
+  SbmParams params;
+  params.num_nodes = 200;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions base;
+  base.deadline = 10;
+  const int tight = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 10,
+                                                /*epsilon=*/0.2, 0.1, base);
+  const int loose = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 10,
+                                                /*epsilon=*/0.5, 0.1, base);
+  EXPECT_GT(tight, loose);
+  EXPECT_GE(loose, 1);
+}
+
+TEST(AdaptiveSizingTest, AdaptiveSketchMatchesLargeFixedSketch) {
+  Rng rng(37);
+  SbmParams params;
+  params.num_nodes = 200;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions base;
+  base.deadline = 10;
+  const int per_group = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 5,
+                                                    0.5, 0.2, base);
+  RrSketchOptions adaptive = base;
+  adaptive.sets_per_group = per_group;
+  RrSketch sketch(&gg.graph, &gg.groups, adaptive);
+  const auto adaptive_seeds =
+      sketch.SelectSeedsBudget(5, [](double z) { return z; });
+
+  RrSketchOptions big = base;
+  big.sets_per_group = 20000;
+  big.seed = 999;  // independent reference sketch
+  RrSketch reference(&gg.graph, &gg.groups, big);
+  const auto reference_seeds =
+      reference.SelectSeedsBudget(5, [](double z) { return z; });
+
+  const double adaptive_value =
+      GroupVectorTotal(reference.EstimateGroupCoverage(adaptive_seeds));
+  const double reference_value =
+      GroupVectorTotal(reference.EstimateGroupCoverage(reference_seeds));
+  // Adaptive sizing must be within the (1 - 1/e - eps)-ish ballpark on an
+  // independent evaluation sketch.
+  EXPECT_GT(adaptive_value, 0.4 * reference_value);
+}
+
+TEST(AdaptiveSizingDeathTest, RejectsBadParameters) {
+  Rng rng(1);
+  SbmParams params;
+  params.num_nodes = 50;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions base;
+  EXPECT_DEATH(
+      ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 5, 1.5, 0.1, base),
+      "epsilon");
+  EXPECT_DEATH(
+      ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 5, 0.2, 0.0, base),
+      "delta");
+  EXPECT_DEATH(
+      ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 0, 0.2, 0.1, base),
+      "budget");
+}
+
+TEST(RrSketchTest, DeterministicGivenSeed) {
+  Rng rng(29);
+  SbmParams params;
+  params.num_nodes = 100;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions options;
+  options.sets_per_group = 300;
+  RrSketch a(&gg.graph, &gg.groups, options);
+  RrSketch b(&gg.graph, &gg.groups, options);
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  for (int s = 0; s < a.num_sets(); ++s) {
+    EXPECT_EQ(a.SetMembers(s), b.SetMembers(s));
+  }
+}
+
+}  // namespace
+}  // namespace tcim

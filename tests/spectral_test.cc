@@ -1,0 +1,120 @@
+#include "graph/spectral.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+// Two disjoint cliques of sizes a and b.
+Graph TwoCliques(NodeId a, NodeId b) {
+  GraphBuilder builder(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = u + 1; v < a; ++v) builder.AddUndirectedEdge(u, v, 0.5);
+  }
+  for (NodeId u = a; u < a + b; ++u) {
+    for (NodeId v = u + 1; v < a + b; ++v) builder.AddUndirectedEdge(u, v, 0.5);
+  }
+  return builder.Build();
+}
+
+// True iff `groups` puts [0,a) in one group and [a,a+b) in the other.
+bool SeparatesCliques(const GroupAssignment& groups, NodeId a) {
+  const GroupId first = groups.GroupOf(0);
+  for (NodeId v = 1; v < a; ++v) {
+    if (groups.GroupOf(v) != first) return false;
+  }
+  const GroupId second = groups.GroupOf(a);
+  if (second == first) return false;
+  for (NodeId v = a; v < groups.num_nodes(); ++v) {
+    if (groups.GroupOf(v) != second) return false;
+  }
+  return true;
+}
+
+TEST(SpectralClusteringTest, RecoverDisjointCliques) {
+  const Graph graph = TwoCliques(12, 8);
+  Rng rng(5);
+  SpectralClusteringOptions options;
+  options.num_clusters = 2;
+  const GroupAssignment groups = SpectralClustering(graph, options, rng);
+  EXPECT_TRUE(SeparatesCliques(groups, 12)) << groups.DebugString();
+}
+
+TEST(SpectralClusteringTest, RecoversPlantedBlocks) {
+  Rng rng(11);
+  // Strongly assortative 3-block model.
+  const GroupedGraph gg = GenerateBlockModel(
+      {40, 40, 40},
+      {{0.5, 0.01, 0.01}, {0.01, 0.5, 0.01}, {0.01, 0.01, 0.5}}, 0.1, rng);
+  SpectralClusteringOptions options;
+  options.num_clusters = 3;
+  const GroupAssignment found = SpectralClustering(gg.graph, options, rng);
+  // Measure agreement: within each planted block, the majority found-label
+  // should cover almost all members, and majorities must differ.
+  std::set<GroupId> majorities;
+  for (GroupId planted = 0; planted < 3; ++planted) {
+    std::vector<int> counts(found.num_groups(), 0);
+    for (const NodeId v : gg.groups.GroupMembers(planted)) {
+      counts[found.GroupOf(v)]++;
+    }
+    const int best = *std::max_element(counts.begin(), counts.end());
+    EXPECT_GE(best, 36) << "planted block " << planted << " was shattered";
+    majorities.insert(static_cast<GroupId>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin()));
+  }
+  EXPECT_EQ(majorities.size(), 3u);
+}
+
+TEST(SpectralClusteringTest, ProducesDenseGroups) {
+  const Graph graph = TwoCliques(10, 10);
+  Rng rng(3);
+  SpectralClusteringOptions options;
+  options.num_clusters = 4;  // more clusters than natural structure
+  const GroupAssignment groups = SpectralClustering(graph, options, rng);
+  EXPECT_EQ(groups.num_groups(), 4);  // dense ids, repaired if needed
+  for (GroupId g = 0; g < 4; ++g) EXPECT_GT(groups.GroupSize(g), 0);
+}
+
+TEST(SpectralEmbeddingTest, RowsAreUnitNorm) {
+  const Graph graph = TwoCliques(6, 6);
+  Rng rng(7);
+  const auto embedding = SpectralEmbedding(graph, 2, 100, rng);
+  for (const auto& row : embedding) {
+    double norm = 0.0;
+    for (const double x : row) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+  }
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 10; ++i) points.push_back({0.0 + i * 0.01, 0.0});
+  for (int i = 0; i < 10; ++i) points.push_back({10.0 + i * 0.01, 0.0});
+  Rng rng(1);
+  const std::vector<int> labels = KMeans(points, 2, 4, 50, rng);
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (int i = 11; i < 20; ++i) EXPECT_EQ(labels[i], labels[10]);
+  EXPECT_NE(labels[0], labels[10]);
+}
+
+TEST(KMeansTest, SingleClusterTrivial) {
+  std::vector<std::vector<double>> points = {{1.0}, {2.0}, {3.0}};
+  Rng rng(2);
+  const std::vector<int> labels = KMeans(points, 1, 1, 10, rng);
+  for (const int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(KMeansDeathTest, MorePointsThanClustersRequired) {
+  std::vector<std::vector<double>> points = {{1.0}};
+  Rng rng(2);
+  EXPECT_DEATH(KMeans(points, 2, 1, 10, rng), "fewer points");
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,104 @@
+#include "common/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = IoError("disk on fire");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "disk on fire");
+  EXPECT_EQ(status.ToString(), "IO_ERROR: disk on fire");
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusCodeNameTest, AllNamesStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(NotFoundError("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> result(std::string("abc"));
+  result.value() += "def";
+  EXPECT_EQ(*result, "abcdef");
+  EXPECT_EQ(result->size(), 6u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> result(InternalError("boom"));
+  EXPECT_DEATH({ (void)result.value(); }, "boom");
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto fails = [] { return IoError("inner"); };
+  auto outer = [&]() -> Status {
+    TCIM_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kIoError);
+}
+
+TEST(ReturnIfErrorTest, PassesOk) {
+  auto succeeds = [] { return Status::Ok(); };
+  auto outer = [&]() -> Status {
+    TCIM_RETURN_IF_ERROR(succeeds());
+    return InternalError("reached end");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ TCIM_CHECK(1 == 2) << "math broke"; }, "math broke");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  TCIM_CHECK(true) << "never evaluated";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,110 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "hello"), "hello");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  const auto fields = StrSplit("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StrSplitTest, SingleField) {
+  const auto fields = StrSplit("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyRuns) {
+  const auto fields = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitWhitespaceTest, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n").empty());
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(ParseInt64Test, ValidValues) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(ParseInt64("  13  ", &value));
+  EXPECT_EQ(value, 13);
+}
+
+TEST(ParseInt64Test, RejectsMalformed) {
+  int64_t value = 0;
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("abc", &value));
+  EXPECT_FALSE(ParseInt64("12x", &value));
+  EXPECT_FALSE(ParseInt64("1.5", &value));
+}
+
+TEST(ParseDoubleTest, ValidValues) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("0.25", &value));
+  EXPECT_DOUBLE_EQ(value, 0.25);
+  EXPECT_TRUE(ParseDouble("-3e2", &value));
+  EXPECT_DOUBLE_EQ(value, -300.0);
+  EXPECT_TRUE(ParseDouble("7", &value));
+  EXPECT_DOUBLE_EQ(value, 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsMalformed) {
+  double value = 0.0;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("x", &value));
+  EXPECT_FALSE(ParseDouble("1.5abc", &value));
+}
+
+TEST(JoinIntsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinInts({1, 2, 3}, ","), "1,2,3");
+  EXPECT_EQ(JoinInts({5}, ","), "5");
+  EXPECT_EQ(JoinInts({}, ","), "");
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.001), "0.001");
+  EXPECT_EQ(FormatDouble(1.50), "1.5");
+}
+
+TEST(FormatDoubleTest, HonorsMaxDecimals) {
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(FormatDouble(2.0 / 3.0, 2), "0.67");
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,114 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace tcim {
+namespace {
+
+// Path 0-1-2 plus isolated pair 3-4 (undirected).
+Graph TwoComponents() {
+  GraphBuilder builder(5);
+  builder.AddUndirectedEdge(0, 1, 0.5);
+  builder.AddUndirectedEdge(1, 2, 0.25);
+  builder.AddUndirectedEdge(3, 4, 0.75);
+  return builder.Build();
+}
+
+TEST(InducedSubgraphTest, KeepsSelectedNodesAndInternalEdges) {
+  const Graph graph = TwoComponents();
+  const SubgraphResult sub = InducedSubgraph(graph, {0, 1, 3});
+  EXPECT_EQ(sub.graph.num_nodes(), 3);
+  // Only the 0-1 undirected edge survives (3's partner 4 was dropped).
+  EXPECT_EQ(sub.graph.num_edges(), 2);
+  EXPECT_EQ(sub.new_to_old, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(sub.old_to_new[3], 2);
+  EXPECT_EQ(sub.old_to_new[4], -1);
+}
+
+TEST(InducedSubgraphTest, PreservesEdgeProbabilities) {
+  const Graph graph = TwoComponents();
+  const SubgraphResult sub = InducedSubgraph(graph, {1, 2});
+  ASSERT_EQ(sub.graph.num_edges(), 2);
+  EXPECT_NEAR(sub.graph.EdgeProbability(0), 0.25, 1e-6);
+}
+
+TEST(InducedSubgraphTest, DuplicatesIgnored) {
+  const Graph graph = TwoComponents();
+  const SubgraphResult sub = InducedSubgraph(graph, {2, 2, 1, 1});
+  EXPECT_EQ(sub.graph.num_nodes(), 2);
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  const Graph graph = TwoComponents();
+  const SubgraphResult sub = InducedSubgraph(graph, {});
+  EXPECT_EQ(sub.graph.num_nodes(), 0);
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+}
+
+TEST(LargestComponentTest, PicksTheBiggerComponent) {
+  const Graph graph = TwoComponents();
+  const SubgraphResult sub = LargestComponent(graph);
+  EXPECT_EQ(sub.graph.num_nodes(), 3);  // the path 0-1-2
+  EXPECT_EQ(sub.new_to_old, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(LargestComponentTest, ConnectedGraphIsUnchanged) {
+  Rng rng(3);
+  const Graph graph = GenerateBarabasiAlbert(100, 2, 0.1, rng);
+  const SubgraphResult sub = LargestComponent(graph);
+  EXPECT_EQ(sub.graph.num_nodes(), 100);
+  EXPECT_EQ(sub.graph.num_edges(), graph.num_edges());
+}
+
+TEST(RestrictGroupsTest, CarriesGroupsAcross) {
+  const Graph graph = TwoComponents();
+  const GroupAssignment groups({0, 0, 1, 1, 0});
+  const SubgraphResult sub = InducedSubgraph(graph, {1, 2, 3});
+  const GroupAssignment restricted = RestrictGroups(groups, sub);
+  EXPECT_EQ(restricted.num_nodes(), 3);
+  EXPECT_EQ(restricted.GroupOf(0), groups.GroupOf(1));
+  EXPECT_EQ(restricted.GroupOf(1), groups.GroupOf(2));
+}
+
+TEST(RestrictGroupsTest, CompactsDroppedGroups) {
+  const Graph graph = TwoComponents();
+  // Group 0 only on dropped nodes -> remaining groups renumber densely.
+  const GroupAssignment groups({0, 1, 1, 2, 2});
+  const SubgraphResult sub = InducedSubgraph(graph, {1, 2, 3, 4});
+  const GroupAssignment restricted = RestrictGroups(groups, sub);
+  EXPECT_EQ(restricted.num_groups(), 2);
+}
+
+TEST(RestrictNodesTest, MapsAndDrops) {
+  const Graph graph = TwoComponents();
+  const SubgraphResult sub = InducedSubgraph(graph, {0, 2, 4});
+  const std::vector<NodeId> mapped = RestrictNodes({0, 1, 4}, sub);
+  EXPECT_EQ(mapped, (std::vector<NodeId>{0, 2}));  // node 1 dropped
+}
+
+TEST(SubgraphRoundTripTest, LargestComponentOfSbmKeepsStructure) {
+  Rng rng(9);
+  SbmParams params;
+  params.num_nodes = 300;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  const SubgraphResult sub = LargestComponent(gg.graph);
+  EXPECT_GT(sub.graph.num_nodes(), 200);  // giant component
+  const GroupAssignment groups = RestrictGroups(gg.groups, sub);
+  EXPECT_EQ(groups.num_nodes(), sub.graph.num_nodes());
+  // Degrees of kept nodes can only shrink (edges to dropped nodes vanish).
+  for (NodeId new_id = 0; new_id < sub.graph.num_nodes(); ++new_id) {
+    EXPECT_LE(sub.graph.OutDegree(new_id),
+              gg.graph.OutDegree(sub.new_to_old[new_id]));
+  }
+}
+
+TEST(InducedSubgraphDeathTest, OutOfRangeNodeAborts) {
+  const Graph graph = TwoComponents();
+  EXPECT_DEATH(InducedSubgraph(graph, {99}), "out of range");
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,119 @@
+#include "sim/temporal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(TemporalWeightTest, StepIsOneUpToDeadline) {
+  const TemporalWeight w = TemporalWeight::Step(3);
+  EXPECT_DOUBLE_EQ(w(0), 1.0);
+  EXPECT_DOUBLE_EQ(w(3), 1.0);
+  EXPECT_DOUBLE_EQ(w(4), 0.0);
+  EXPECT_EQ(w.horizon(), 3);
+  EXPECT_TRUE(w.IsStep());
+}
+
+TEST(TemporalWeightTest, StepZeroDeadlineCoversOnlySeeds) {
+  const TemporalWeight w = TemporalWeight::Step(0);
+  EXPECT_DOUBLE_EQ(w(0), 1.0);
+  EXPECT_DOUBLE_EQ(w(1), 0.0);
+}
+
+TEST(TemporalWeightTest, ExponentialDiscountValues) {
+  const TemporalWeight w = TemporalWeight::ExponentialDiscount(0.5, 4);
+  EXPECT_DOUBLE_EQ(w(0), 1.0);
+  EXPECT_DOUBLE_EQ(w(1), 0.5);
+  EXPECT_DOUBLE_EQ(w(3), 0.125);
+  EXPECT_DOUBLE_EQ(w(5), 0.0);  // beyond horizon
+  EXPECT_FALSE(w.IsStep());
+}
+
+TEST(TemporalWeightTest, GammaOneIsStepShaped) {
+  const TemporalWeight w = TemporalWeight::ExponentialDiscount(1.0, 5);
+  for (int t = 0; t <= 5; ++t) EXPECT_DOUBLE_EQ(w(t), 1.0);
+  EXPECT_DOUBLE_EQ(w(6), 0.0);
+}
+
+TEST(TemporalWeightTest, LinearDecayValues) {
+  const TemporalWeight w = TemporalWeight::LinearDecay(4);
+  EXPECT_DOUBLE_EQ(w(0), 1.0);
+  EXPECT_DOUBLE_EQ(w(2), 0.5);
+  EXPECT_DOUBLE_EQ(w(4), 0.0);
+}
+
+TEST(TemporalWeightTest, NamesAreDescriptive) {
+  EXPECT_EQ(TemporalWeight::Step(7).name(), "step(7)");
+  EXPECT_EQ(TemporalWeight::ExponentialDiscount(0.9, 10).name(),
+            "discount(0.9,10)");
+  EXPECT_EQ(TemporalWeight::LinearDecay(10).name(), "linear(10)");
+}
+
+TEST(TemporalWeightDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(TemporalWeight::Step(-1), "deadline");
+  EXPECT_DEATH(TemporalWeight::ExponentialDiscount(0.0, 5), "gamma");
+  EXPECT_DEATH(TemporalWeight::ExponentialDiscount(1.5, 5), "gamma");
+}
+
+TEST(DelaySamplerTest, UnitDelayIsAlwaysOne) {
+  const DelaySampler delays = DelaySampler::Unit();
+  EXPECT_TRUE(delays.is_unit());
+  for (uint32_t world = 0; world < 100; ++world) {
+    for (EdgeId e = 0; e < 20; ++e) {
+      EXPECT_EQ(delays.Delay(world, e, 1000), 1);
+    }
+  }
+}
+
+TEST(DelaySamplerTest, MeetingProbabilityOneIsUnit) {
+  EXPECT_TRUE(DelaySampler::Geometric(1.0, 7).is_unit());
+}
+
+TEST(DelaySamplerTest, GeometricMeanMatchesOneOverM) {
+  const double m = 0.25;
+  const DelaySampler delays = DelaySampler::Geometric(m, 11);
+  double sum = 0.0;
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i) {
+    sum += delays.Delay(static_cast<uint32_t>(i), /*edge=*/3, /*cap=*/100000);
+  }
+  EXPECT_NEAR(sum / samples, 1.0 / m, 0.1);  // E[Geometric(m)] = 1/m
+}
+
+TEST(DelaySamplerTest, GeometricTailDecays) {
+  const DelaySampler delays = DelaySampler::Geometric(0.5, 13);
+  int counts[4] = {0, 0, 0, 0};  // delay 1, 2, 3, >=4
+  const int samples = 40000;
+  for (int i = 0; i < samples; ++i) {
+    const int d = delays.Delay(static_cast<uint32_t>(i), 0, 1000);
+    counts[std::min(d - 1, 3)]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(samples), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(samples), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(samples), 0.125, 0.01);
+}
+
+TEST(DelaySamplerTest, DelayIsDeterministicPerWorldEdge) {
+  const DelaySampler delays = DelaySampler::Geometric(0.3, 17);
+  for (uint32_t world = 0; world < 50; ++world) {
+    EXPECT_EQ(delays.Delay(world, 5, 100), delays.Delay(world, 5, 100));
+  }
+}
+
+TEST(DelaySamplerTest, CapBoundsTheDelay) {
+  const DelaySampler delays = DelaySampler::Geometric(0.01, 19);
+  for (uint32_t world = 0; world < 1000; ++world) {
+    EXPECT_LE(delays.Delay(world, 2, 5), 5);
+    EXPECT_GE(delays.Delay(world, 2, 5), 1);
+  }
+}
+
+TEST(DelaySamplerDeathTest, RejectsBadMeetingProbability) {
+  EXPECT_DEATH(DelaySampler::Geometric(0.0, 1), "meeting probability");
+  EXPECT_DEATH(DelaySampler::Geometric(1.5, 1), "meeting probability");
+}
+
+}  // namespace
+}  // namespace tcim

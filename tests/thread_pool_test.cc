@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tcim {
+namespace {
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+}
+
+TEST(ThreadPoolTest, DefaultPicksHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversWholeRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(1000, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);  // exactly once, no overlap, no gap
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(8);
+  std::atomic<int> count(0);
+  pool.ParallelFor(1, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSumMatchesSerial) {
+  ThreadPool pool(6);
+  const size_t n = 123457;
+  std::atomic<int64_t> sum(0);
+  pool.ParallelFor(n, [&](size_t begin, size_t end) {
+    int64_t local = 0;
+    for (size_t i = begin; i < end; ++i) local += static_cast<int64_t>(i);
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ScheduleAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> done(0);
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingScheduledReturns) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, RepeatedParallelForIsStable) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<int> count(0);
+    pool.ParallelFor(64, [&](size_t begin, size_t end) {
+      count.fetch_add(static_cast<int>(end - begin));
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Default(), &ThreadPool::Default());
+}
+
+}  // namespace
+}  // namespace tcim
