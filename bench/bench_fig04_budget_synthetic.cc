@@ -7,36 +7,44 @@
 // Expected shape: P1 shows a large gap between the 70% majority (group 1)
 // and 30% minority (group 2); P4 closes the gap at marginal total cost; the
 // gap grows with B and is non-monotone-then-plateauing in τ.
+//
+// Runs entirely through the tcim::Solve() facade: each variant is one
+// ProblemSpec, prefixes are re-evaluated with EvaluateSeeds().
 
 #include <cstdio>
 #include <vector>
 
+#include "api/tcim.h"
 #include "bench/bench_util.h"
 #include "common/csv.h"
-#include "core/experiment.h"
-#include "graph/datasets.h"
 
 namespace tcim {
 namespace {
 
-void RunFig4a(const GroupedGraph& gg, const ExperimentConfig& config,
-              int budget) {
+// The solved Solution always carries an evaluation here (evaluate=true);
+// Result's checked deref aborts with the status message on error.
+const GroupUtilityReport& Report(const Result<Solution>& solution) {
+  return *solution->evaluation;
+}
+
+void RunFig4a(const GroupedGraph& gg, const SolveOptions& options, int budget) {
   TablePrinter table("Fig 4a: total and group influence (tau=20, B=30)",
                      {"algorithm", "total", "group1", "group2", "disparity"});
   CsvWriter csv({"algorithm", "total", "group1", "group2", "disparity"});
 
-  const ConcaveFunction log_h = ConcaveFunction::Log();
-  const ConcaveFunction sqrt_h = ConcaveFunction::Sqrt();
   struct Row {
     const char* name;
-    const ConcaveFunction* h;
+    ProblemSpec spec;
   };
-  for (const Row& row : {Row{"P1", nullptr}, Row{"P4-Log", &log_h},
-                         Row{"P4-Sqrt", &sqrt_h}}) {
-    const ExperimentOutcome outcome =
-        RunBudgetExperiment(gg.graph, gg.groups, config, budget, row.h);
+  for (const Row& row :
+       {Row{"P1", ProblemSpec::Budget(budget, /*deadline=*/20)},
+        Row{"P4-Log", ProblemSpec::FairBudget(budget, 20)},
+        Row{"P4-Sqrt",
+            ProblemSpec::FairBudget(budget, 20, ConcaveFunction::Sqrt())}}) {
+    const Result<Solution> solution =
+        Solve(gg.graph, gg.groups, row.spec, options);
     std::vector<std::string> cells = {row.name};
-    for (const std::string& cell : bench::ReportCells(outcome.report)) {
+    for (const std::string& cell : bench::ReportCells(Report(solution))) {
       cells.push_back(cell);
     }
     table.AddRow(cells);
@@ -46,7 +54,7 @@ void RunFig4a(const GroupedGraph& gg, const ExperimentConfig& config,
   bench::WriteCsv(csv, "fig04a_h_variants.csv");
 }
 
-void RunFig4b(const GroupedGraph& gg, const ExperimentConfig& config,
+void RunFig4b(const GroupedGraph& gg, const SolveOptions& options,
               int max_budget) {
   TablePrinter table("Fig 4b: influence vs seed budget B",
                      {"B", "P1 total", "P1 g1", "P1 g2", "P4 total", "P4 g1",
@@ -55,64 +63,62 @@ void RunFig4b(const GroupedGraph& gg, const ExperimentConfig& config,
 
   // One greedy run at the max budget gives every prefix: greedy seeds are
   // nested, so the sweep evaluates prefixes on the fresh evaluation worlds.
-  const ConcaveFunction log_h = ConcaveFunction::Log();
-  const ExperimentOutcome p1 =
-      RunBudgetExperiment(gg.graph, gg.groups, config, max_budget);
-  const ExperimentOutcome p4 =
-      RunBudgetExperiment(gg.graph, gg.groups, config, max_budget, &log_h);
+  const ProblemSpec p1_spec = ProblemSpec::Budget(max_budget, 20);
+  const ProblemSpec p4_spec = ProblemSpec::FairBudget(max_budget, 20);
+  const Result<Solution> p1 = Solve(gg.graph, gg.groups, p1_spec, options);
+  const Result<Solution> p4 = Solve(gg.graph, gg.groups, p4_spec, options);
 
   for (int budget = 5; budget <= max_budget; budget += 5) {
-    const std::vector<NodeId> p1_prefix(p1.selection.seeds.begin(),
-                                        p1.selection.seeds.begin() + budget);
-    const std::vector<NodeId> p4_prefix(p4.selection.seeds.begin(),
-                                        p4.selection.seeds.begin() + budget);
-    const GroupUtilityReport p1_report =
-        EvaluateSeedSet(gg.graph, gg.groups, p1_prefix, config);
-    const GroupUtilityReport p4_report =
-        EvaluateSeedSet(gg.graph, gg.groups, p4_prefix, config);
+    const std::vector<NodeId> p1_prefix(p1->seeds.begin(),
+                                        p1->seeds.begin() + budget);
+    const std::vector<NodeId> p4_prefix(p4->seeds.begin(),
+                                        p4->seeds.begin() + budget);
+    const Result<GroupUtilityReport> p1_report =
+        EvaluateSeeds(gg.graph, gg.groups, p1_prefix, p1_spec, options);
+    const Result<GroupUtilityReport> p4_report =
+        EvaluateSeeds(gg.graph, gg.groups, p4_prefix, p4_spec, options);
     table.AddRow({StrFormat("%d", budget),
-                  FormatDouble(p1_report.total_fraction, 4),
-                  FormatDouble(p1_report.normalized[0], 4),
-                  FormatDouble(p1_report.normalized[1], 4),
-                  FormatDouble(p4_report.total_fraction, 4),
-                  FormatDouble(p4_report.normalized[0], 4),
-                  FormatDouble(p4_report.normalized[1], 4)});
+                  FormatDouble(p1_report->total_fraction, 4),
+                  FormatDouble(p1_report->normalized[0], 4),
+                  FormatDouble(p1_report->normalized[1], 4),
+                  FormatDouble(p4_report->total_fraction, 4),
+                  FormatDouble(p4_report->normalized[0], 4),
+                  FormatDouble(p4_report->normalized[1], 4)});
     csv.AddRow({StrFormat("%d", budget), "P1",
-                FormatDouble(p1_report.total_fraction, 4),
-                FormatDouble(p1_report.normalized[0], 4),
-                FormatDouble(p1_report.normalized[1], 4),
-                FormatDouble(p1_report.disparity, 4)});
+                FormatDouble(p1_report->total_fraction, 4),
+                FormatDouble(p1_report->normalized[0], 4),
+                FormatDouble(p1_report->normalized[1], 4),
+                FormatDouble(p1_report->disparity, 4)});
     csv.AddRow({StrFormat("%d", budget), "P4-log",
-                FormatDouble(p4_report.total_fraction, 4),
-                FormatDouble(p4_report.normalized[0], 4),
-                FormatDouble(p4_report.normalized[1], 4),
-                FormatDouble(p4_report.disparity, 4)});
+                FormatDouble(p4_report->total_fraction, 4),
+                FormatDouble(p4_report->normalized[0], 4),
+                FormatDouble(p4_report->normalized[1], 4),
+                FormatDouble(p4_report->disparity, 4)});
   }
   table.Print();
   bench::WriteCsv(csv, "fig04b_budget_sweep.csv");
 }
 
-void RunFig4c(const GroupedGraph& gg, ExperimentConfig config, int budget) {
+void RunFig4c(const GroupedGraph& gg, const SolveOptions& options, int budget) {
   TablePrinter table("Fig 4c: disparity vs time deadline tau",
                      {"tau", "P1 disparity", "P4 disparity"});
   CsvWriter csv({"tau", "method", "disparity", "total"});
 
-  const ConcaveFunction log_h = ConcaveFunction::Log();
   for (const int deadline : {1, 2, 5, 10, 20, kNoDeadline}) {
-    config.deadline = deadline;
-    const ExperimentOutcome p1 =
-        RunBudgetExperiment(gg.graph, gg.groups, config, budget);
-    const ExperimentOutcome p4 =
-        RunBudgetExperiment(gg.graph, gg.groups, config, budget, &log_h);
+    const Result<Solution> p1 = Solve(
+        gg.graph, gg.groups, ProblemSpec::Budget(budget, deadline), options);
+    const Result<Solution> p4 =
+        Solve(gg.graph, gg.groups, ProblemSpec::FairBudget(budget, deadline),
+              options);
     table.AddRow({bench::FormatTau(deadline),
-                  FormatDouble(p1.report.disparity, 4),
-                  FormatDouble(p4.report.disparity, 4)});
+                  FormatDouble(Report(p1).disparity, 4),
+                  FormatDouble(Report(p4).disparity, 4)});
     csv.AddRow({bench::FormatTau(deadline), "P1",
-                FormatDouble(p1.report.disparity, 4),
-                FormatDouble(p1.report.total_fraction, 4)});
+                FormatDouble(Report(p1).disparity, 4),
+                FormatDouble(Report(p1).total_fraction, 4)});
     csv.AddRow({bench::FormatTau(deadline), "P4-log",
-                FormatDouble(p4.report.disparity, 4),
-                FormatDouble(p4.report.total_fraction, 4)});
+                FormatDouble(Report(p4).disparity, 4),
+                FormatDouble(Report(p4).total_fraction, 4)});
   }
   table.Print();
   bench::WriteCsv(csv, "fig04c_deadline_sweep.csv");
@@ -130,14 +136,13 @@ void Run(int argc, char** argv) {
               gg.graph.DebugString().c_str(), gg.groups.DebugString().c_str(),
               worlds);
 
-  ExperimentConfig config;
-  config.deadline = 20;
-  config.num_worlds = worlds;
+  SolveOptions options;
+  options.num_worlds = worlds;
 
   Stopwatch watch;
-  RunFig4a(gg, config, budget);
-  RunFig4b(gg, config, budget);
-  RunFig4c(gg, config, budget);
+  RunFig4a(gg, options, budget);
+  RunFig4b(gg, options, budget);
+  RunFig4c(gg, options, budget);
   std::printf("[time] figure 4 total: %.1fs\n", watch.ElapsedSeconds());
 }
 

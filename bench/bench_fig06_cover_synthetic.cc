@@ -6,19 +6,27 @@
 //
 // Expected shape: both methods reach the total quota; only P6 lifts BOTH
 // groups to Q; P6 pays a small number of extra seeds (Theorem 2).
+//
+// Runs entirely through the tcim::Solve() facade; the iteration curves of
+// 6a come from Solution::trace.
 
 #include <cstdio>
 #include <vector>
 
+#include "api/tcim.h"
 #include "bench/bench_util.h"
 #include "common/csv.h"
-#include "core/experiment.h"
-#include "graph/datasets.h"
 
 namespace tcim {
 namespace {
 
-void RunFig6a(const GroupedGraph& gg, const ExperimentConfig& config,
+// Result::value() aborts with the status message on error.
+Solution MustSolve(const GroupedGraph& gg, const ProblemSpec& spec,
+                   const SolveOptions& options) {
+  return Solve(gg.graph, gg.groups, spec, options).value();
+}
+
+void RunFig6a(const GroupedGraph& gg, const SolveOptions& options,
               double quota) {
   TablePrinter table(
       StrFormat("Fig 6a: greedy iterations at Q=%s (selection-time estimates)",
@@ -26,15 +34,14 @@ void RunFig6a(const GroupedGraph& gg, const ExperimentConfig& config,
       {"iter", "P2 total", "P2 g1", "P2 g2", "P6 total", "P6 g1", "P6 g2"});
   CsvWriter csv({"iteration", "method", "total", "group1", "group2"});
 
-  const ExperimentOutcome p2 =
-      RunCoverExperiment(gg.graph, gg.groups, config, quota, /*fair=*/false);
-  const ExperimentOutcome p6 =
-      RunCoverExperiment(gg.graph, gg.groups, config, quota, /*fair=*/true);
+  const Solution p2 =
+      MustSolve(gg, ProblemSpec::Cover(quota, /*deadline=*/20), options);
+  const Solution p6 =
+      MustSolve(gg, ProblemSpec::FairCover(quota, /*deadline=*/20), options);
 
-  const size_t iterations =
-      std::max(p2.selection.trace.size(), p6.selection.trace.size());
+  const size_t iterations = std::max(p2.trace.size(), p6.trace.size());
   const NodeId n = gg.graph.num_nodes();
-  auto cell = [&](const std::vector<GreedyStep>& trace, size_t i, int what) {
+  auto cell = [&](const std::vector<SolutionStep>& trace, size_t i, int what) {
     if (i >= trace.size()) return std::string("-");
     const GroupVector& cov = trace[i].coverage;
     switch (what) {
@@ -47,29 +54,26 @@ void RunFig6a(const GroupedGraph& gg, const ExperimentConfig& config,
     }
   };
   for (size_t i = 0; i < iterations; ++i) {
-    table.AddRow({StrFormat("%zu", i + 1), cell(p2.selection.trace, i, 0),
-                  cell(p2.selection.trace, i, 1), cell(p2.selection.trace, i, 2),
-                  cell(p6.selection.trace, i, 0), cell(p6.selection.trace, i, 1),
-                  cell(p6.selection.trace, i, 2)});
-    if (i < p2.selection.trace.size()) {
-      csv.AddRow({StrFormat("%zu", i + 1), "P2",
-                  cell(p2.selection.trace, i, 0), cell(p2.selection.trace, i, 1),
-                  cell(p2.selection.trace, i, 2)});
+    table.AddRow({StrFormat("%zu", i + 1), cell(p2.trace, i, 0),
+                  cell(p2.trace, i, 1), cell(p2.trace, i, 2),
+                  cell(p6.trace, i, 0), cell(p6.trace, i, 1),
+                  cell(p6.trace, i, 2)});
+    if (i < p2.trace.size()) {
+      csv.AddRow({StrFormat("%zu", i + 1), "P2", cell(p2.trace, i, 0),
+                  cell(p2.trace, i, 1), cell(p2.trace, i, 2)});
     }
-    if (i < p6.selection.trace.size()) {
-      csv.AddRow({StrFormat("%zu", i + 1), "P6",
-                  cell(p6.selection.trace, i, 0), cell(p6.selection.trace, i, 1),
-                  cell(p6.selection.trace, i, 2)});
+    if (i < p6.trace.size()) {
+      csv.AddRow({StrFormat("%zu", i + 1), "P6", cell(p6.trace, i, 0),
+                  cell(p6.trace, i, 1), cell(p6.trace, i, 2)});
     }
   }
   table.Print();
   std::printf("quota line: %s; P2 used %zu seeds, P6 used %zu seeds\n\n",
-              FormatDouble(quota).c_str(), p2.selection.seeds.size(),
-              p6.selection.seeds.size());
+              FormatDouble(quota).c_str(), p2.seeds.size(), p6.seeds.size());
   bench::WriteCsv(csv, "fig06a_iterations.csv");
 }
 
-void RunFig6bc(const GroupedGraph& gg, const ExperimentConfig& config) {
+void RunFig6bc(const GroupedGraph& gg, const SolveOptions& options) {
   TablePrinter influence("Fig 6b: per-group influence vs quota Q",
                          {"Q", "P2 g1", "P2 g2", "P6 g1", "P6 g2"});
   TablePrinter sizes("Fig 6c: solution set size |S| vs quota Q",
@@ -77,27 +81,26 @@ void RunFig6bc(const GroupedGraph& gg, const ExperimentConfig& config) {
   CsvWriter csv({"Q", "method", "group1", "group2", "seeds", "reached"});
 
   for (const double quota : {0.1, 0.2, 0.3}) {
-    const ExperimentOutcome p2 =
-        RunCoverExperiment(gg.graph, gg.groups, config, quota, false);
-    const ExperimentOutcome p6 =
-        RunCoverExperiment(gg.graph, gg.groups, config, quota, true);
-    influence.AddRow({FormatDouble(quota), FormatDouble(p2.report.normalized[0], 4),
-                      FormatDouble(p2.report.normalized[1], 4),
-                      FormatDouble(p6.report.normalized[0], 4),
-                      FormatDouble(p6.report.normalized[1], 4)});
-    sizes.AddRow({FormatDouble(quota),
-                  StrFormat("%zu", p2.selection.seeds.size()),
-                  StrFormat("%zu", p6.selection.seeds.size())});
+    const Solution p2 = MustSolve(gg, ProblemSpec::Cover(quota, 20), options);
+    const Solution p6 =
+        MustSolve(gg, ProblemSpec::FairCover(quota, 20), options);
+    influence.AddRow({FormatDouble(quota),
+                      FormatDouble(p2.evaluation->normalized[0], 4),
+                      FormatDouble(p2.evaluation->normalized[1], 4),
+                      FormatDouble(p6.evaluation->normalized[0], 4),
+                      FormatDouble(p6.evaluation->normalized[1], 4)});
+    sizes.AddRow({FormatDouble(quota), StrFormat("%zu", p2.seeds.size()),
+                  StrFormat("%zu", p6.seeds.size())});
     csv.AddRow({FormatDouble(quota), "P2",
-                FormatDouble(p2.report.normalized[0], 4),
-                FormatDouble(p2.report.normalized[1], 4),
-                StrFormat("%zu", p2.selection.seeds.size()),
-                p2.selection.target_reached ? "1" : "0"});
+                FormatDouble(p2.evaluation->normalized[0], 4),
+                FormatDouble(p2.evaluation->normalized[1], 4),
+                StrFormat("%zu", p2.seeds.size()),
+                p2.target_reached ? "1" : "0"});
     csv.AddRow({FormatDouble(quota), "P6",
-                FormatDouble(p6.report.normalized[0], 4),
-                FormatDouble(p6.report.normalized[1], 4),
-                StrFormat("%zu", p6.selection.seeds.size()),
-                p6.selection.target_reached ? "1" : "0"});
+                FormatDouble(p6.evaluation->normalized[0], 4),
+                FormatDouble(p6.evaluation->normalized[1], 4),
+                StrFormat("%zu", p6.seeds.size()),
+                p6.target_reached ? "1" : "0"});
   }
   influence.Print();
   sizes.Print();
@@ -114,13 +117,12 @@ void Run(int argc, char** argv) {
               gg.graph.DebugString().c_str(), gg.groups.DebugString().c_str(),
               worlds);
 
-  ExperimentConfig config;
-  config.deadline = 20;
-  config.num_worlds = worlds;
+  SolveOptions options;
+  options.num_worlds = worlds;
 
   Stopwatch watch;
-  RunFig6a(gg, config, /*quota=*/0.2);
-  RunFig6bc(gg, config);
+  RunFig6a(gg, options, /*quota=*/0.2);
+  RunFig6bc(gg, options);
   std::printf("[time] figure 6 total: %.1fs\n", watch.ElapsedSeconds());
 }
 

@@ -6,6 +6,11 @@
 // principled alternatives — showing how an audit would surface disparate
 // impact before a campaign ships.
 //
+// Everything runs through the facade: the incumbent policy is the
+// registry's "degree" solver (ProblemSpec::solver), the alternatives are
+// the default greedy on P1/P4, and all three share one spec shape — so the
+// audit loop never touches oracle or solver internals.
+//
 // Also demonstrates graph/groups file IO: the audited network is written
 // to and re-read from edge-list + group files, the way a real audit would
 // ingest data exported from a production system.
@@ -14,12 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "api/tcim.h"
 #include "common/csv.h"
 #include "common/string_util.h"
-#include "core/baselines.h"
-#include "core/experiment.h"
-#include "graph/datasets.h"
-#include "graph/io.h"
 
 using namespace tcim;
 
@@ -43,7 +45,6 @@ int main() {
               groups.DebugString().c_str());
 
   const int kBudget = 30;
-  const std::vector<NodeId> incumbent_policy = TopDegreeSeeds(graph, kBudget);
 
   TablePrinter table("Audit: top-degree policy vs alternatives",
                      {"tau", "policy", "total", "min group", "max group",
@@ -51,15 +52,11 @@ int main() {
   CsvWriter csv({"tau", "policy", "total", "min_group", "max_group",
                  "disparity"});
 
-  const ConcaveFunction h = ConcaveFunction::Log();
-  for (const int deadline : {2, 5, 20}) {
-    ExperimentConfig config;
-    config.deadline = deadline;
-    config.num_worlds = 200;
+  SolveOptions options;
+  options.num_worlds = 200;
 
-    auto audit = [&](const char* policy, const std::vector<NodeId>& seeds) {
-      const GroupUtilityReport report =
-          EvaluateSeedSet(graph, groups, seeds, config);
+  for (const int deadline : {2, 5, 20}) {
+    auto audit = [&](const char* policy, const GroupUtilityReport& report) {
       double lo = 1.0, hi = 0.0;
       for (const double fraction : report.normalized) {
         lo = std::min(lo, fraction);
@@ -73,13 +70,21 @@ int main() {
       csv.AddRow(cells);
     };
 
-    audit("incumbent top-degree", incumbent_policy);
-    const ExperimentOutcome p1 =
-        RunBudgetExperiment(graph, groups, config, kBudget);
-    audit("greedy P1", p1.selection.seeds);
-    const ExperimentOutcome p4 =
-        RunBudgetExperiment(graph, groups, config, kBudget, &h);
-    audit("fair P4-log", p4.selection.seeds);
+    // The incumbent policy is just another registered solver.
+    ProblemSpec incumbent = ProblemSpec::Budget(kBudget, deadline);
+    incumbent.solver = "degree";
+    // Result's checked deref aborts with the status message on error.
+    const Result<Solution> top_degree =
+        Solve(graph, groups, incumbent, options);
+    audit("incumbent top-degree", *top_degree->evaluation);
+
+    const Result<Solution> p1 =
+        Solve(graph, groups, ProblemSpec::Budget(kBudget, deadline), options);
+    audit("greedy P1", *p1->evaluation);
+
+    const Result<Solution> p4 = Solve(
+        graph, groups, ProblemSpec::FairBudget(kBudget, deadline), options);
+    audit("fair P4-log", *p4->evaluation);
   }
   table.Print();
   TCIM_CHECK(csv.WriteToFile("/tmp/tcim_audit_report.csv").ok());

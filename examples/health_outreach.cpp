@@ -6,16 +6,15 @@
 // many community health workers (seeds) that guarantee costs, compared to
 // an aggregate-only target (the paper's TCIM-Cover vs FairTCIM-Cover).
 //
-// Demonstrates: SolveTcimCover / SolveFairTcimCover, iteration traces, and
-// the disparity <= 1 - Q guarantee of feasible fair solutions.
+// Demonstrates: the cover problems through tcim::Solve(), iteration traces,
+// and the disparity <= 1 - Q guarantee of feasible fair solutions.
 
 #include <cstdio>
 #include <vector>
 
+#include "api/tcim.h"
 #include "common/csv.h"
 #include "common/string_util.h"
-#include "core/experiment.h"
-#include "graph/generators.h"
 
 using namespace tcim;
 
@@ -33,35 +32,36 @@ int main() {
   std::printf("city network: %s\n", city.graph.DebugString().c_str());
   std::printf("demographics: %s\n\n", city.groups.DebugString().c_str());
 
-  ExperimentConfig config;
-  config.deadline = 10;
-  config.num_worlds = 300;
   const double kQuota = 0.15;
+  SolveOptions options;
+  options.num_worlds = 300;
 
-  const ExperimentOutcome aggregate = RunCoverExperiment(
-      city.graph, city.groups, config, kQuota, /*fair=*/false);
-  const ExperimentOutcome equitable = RunCoverExperiment(
-      city.graph, city.groups, config, kQuota, /*fair=*/true);
-
+  const Result<Solution> aggregate =
+      Solve(city.graph, city.groups,
+            ProblemSpec::Cover(kQuota, /*deadline=*/10), options);
+  const Result<Solution> equitable =
+      Solve(city.graph, city.groups,
+            ProblemSpec::FairCover(kQuota, /*deadline=*/10), options);
   TablePrinter table("Reaching 15% within 10 rounds",
                      {"plan", "workers", "group1", "group2", "group3",
                       "disparity"});
-  auto add = [&](const char* plan, const ExperimentOutcome& outcome) {
-    table.AddRow({plan, StrFormat("%zu", outcome.selection.seeds.size()),
-                  FormatDouble(outcome.report.normalized[0], 4),
-                  FormatDouble(outcome.report.normalized[1], 4),
-                  FormatDouble(outcome.report.normalized[2], 4),
-                  FormatDouble(outcome.report.disparity, 4)});
+  auto add = [&](const char* plan, const Solution& solution) {
+    const GroupUtilityReport& report = *solution.evaluation;
+    table.AddRow({plan, StrFormat("%zu", solution.seeds.size()),
+                  FormatDouble(report.normalized[0], 4),
+                  FormatDouble(report.normalized[1], 4),
+                  FormatDouble(report.normalized[2], 4),
+                  FormatDouble(report.disparity, 4)});
   };
-  add("aggregate quota (P2)", aggregate);
-  add("per-group quota (P6)", equitable);
+  add("aggregate quota (P2)", *aggregate);
+  add("per-group quota (P6)", *equitable);
   table.Print();
 
   // The price of equity, iteration by iteration: show when each plan
   // believes each group crossed the quota.
   std::printf("\nequitable plan, seed-by-seed progress:\n");
-  for (size_t i = 0; i < equitable.selection.trace.size(); ++i) {
-    const GreedyStep& step = equitable.selection.trace[i];
+  for (size_t i = 0; i < equitable->trace.size(); ++i) {
+    const SolutionStep& step = equitable->trace[i];
     std::printf("  worker %2zu -> node %4d | coverage:", i + 1, step.node);
     for (GroupId g = 0; g < city.groups.num_groups(); ++g) {
       std::printf(" %5.3f", step.coverage[g] / city.groups.GroupSize(g));
@@ -72,10 +72,11 @@ int main() {
   std::printf(
       "\nGuarantee check: the equitable plan is feasible, so its disparity "
       "(%.3f) is at most 1 - Q = %.2f.\n",
-      equitable.report.disparity, 1.0 - kQuota);
+      equitable->evaluation->disparity, 1.0 - kQuota);
   std::printf(
-      "Equity premium: %zu extra workers over the aggregate plan's %zu.\n",
-      equitable.selection.seeds.size() - aggregate.selection.seeds.size(),
-      aggregate.selection.seeds.size());
+      "Equity premium: %ld extra workers over the aggregate plan's %zu.\n",
+      static_cast<long>(equitable->seeds.size()) -
+          static_cast<long>(aggregate->seeds.size()),
+      aggregate->seeds.size());
   return 0;
 }

@@ -7,17 +7,16 @@
 // and a sparsely connected minority community; the agency can brief B = 25
 // "ambassadors" (seeds).
 //
-// This example shows how the choice of objective changes WHO hears about
-// the program in time, across several deadlines — and what the fair
-// surrogate costs in total reach.
+// This example sweeps ONE ProblemSpec field (the deadline) across solves of
+// the P1 and P4 specs to show how the choice of objective changes WHO hears
+// about the program in time — and what the fair surrogate costs in reach.
 
 #include <cstdio>
 #include <vector>
 
+#include "api/tcim.h"
 #include "common/csv.h"
 #include "common/string_util.h"
-#include "core/experiment.h"
-#include "graph/generators.h"
 
 using namespace tcim;
 
@@ -41,17 +40,19 @@ int main() {
       {"days left", "policy", "reached (all)", "majority", "minority",
        "disparity"});
 
-  const ConcaveFunction h = ConcaveFunction::Log();
+  SolveOptions options;
+  options.num_worlds = 300;
+
   for (const int days_left : {3, 7, 14}) {
-    ExperimentConfig config;
-    config.deadline = days_left;  // one propagation step per day
-    config.num_worlds = 300;
-
-    const ExperimentOutcome reach_max = RunBudgetExperiment(
-        town.graph, town.groups, config, kAmbassadors);
-    const ExperimentOutcome fair = RunBudgetExperiment(
-        town.graph, town.groups, config, kAmbassadors, &h);
-
+    // One propagation step per day.
+    const Result<Solution> reach_max =
+        Solve(town.graph, town.groups,
+              ProblemSpec::Budget(kAmbassadors, /*deadline=*/days_left),
+              options);
+    const Result<Solution> fair =
+        Solve(town.graph, town.groups,
+              ProblemSpec::FairBudget(kAmbassadors, /*deadline=*/days_left),
+              options);
     auto add = [&](const char* policy, const GroupUtilityReport& report) {
       table.AddRow({StrFormat("%d", days_left), policy,
                     FormatDouble(report.total_fraction, 4),
@@ -59,8 +60,8 @@ int main() {
                     FormatDouble(report.normalized[1], 4),
                     FormatDouble(report.disparity, 4)});
     };
-    add("reach-maximizing (P1)", reach_max.report);
-    add("fairness-aware (P4)", fair.report);
+    add("reach-maximizing (P1)", *reach_max->evaluation);
+    add("fairness-aware (P4)", *fair->evaluation);
   }
   table.Print();
 

@@ -1,17 +1,17 @@
-// Quickstart: the 60-second tour of the FairTCIM public API.
+// Quickstart: the 60-second tour of the TCIM public API.
 //
 //   1. build (or generate) a graph with per-edge activation probabilities,
 //   2. declare the socially salient groups,
-//   3. solve the four problems — P1/P4 (budget) and P2/P6 (cover),
-//   4. evaluate any seed set on fresh Monte-Carlo worlds and measure the
-//      Eq. 2 disparity.
+//   3. describe each problem as a ProblemSpec and call tcim::Solve() —
+//      the same facade covers P1/P4 (budget), P2/P6 (cover), and maximin,
+//   4. every Solution carries an independent fresh-world evaluation and
+//      the Eq. 2 disparity; arbitrary seed sets audit via EvaluateSeeds().
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/experiment.h"
-#include "graph/datasets.h"
+#include "api/tcim.h"
 
 using namespace tcim;  // examples only; library code never does this
 
@@ -24,49 +24,70 @@ int main() {
   std::printf("network: %s\n", network.graph.DebugString().c_str());
   std::printf("groups : %s\n\n", network.groups.DebugString().c_str());
 
-  // 2. Experiment configuration: influence counts only if it arrives within
-  //    τ = 20 steps; utilities are averaged over 200 live-edge worlds.
-  ExperimentConfig config;
-  config.deadline = 20;
-  config.num_worlds = 200;
+  // 2. Fidelity knobs, shared by every problem below: utilities averaged
+  //    over 200 Monte-Carlo worlds, evaluation on an independent world set.
+  SolveOptions options;
+  options.num_worlds = 200;
 
-  // 3a. Standard TCIM-Budget (P1): maximize total influence, B = 20 seeds.
-  const ExperimentOutcome standard =
-      RunBudgetExperiment(network.graph, network.groups, config, /*budget=*/20);
+  // 3a. Standard TCIM-Budget (P1): maximize total influence arriving within
+  //     τ = 20 steps, B = 20 seeds. A bad spec (negative budget, unknown
+  //     solver, ...) comes back as an error Status — handle it like this
+  //     once; later calls use Result's checked accessors, which abort with
+  //     the same status message if you skip the check.
+  const Result<Solution> standard =
+      Solve(network.graph, network.groups,
+            ProblemSpec::Budget(/*budget=*/20, /*deadline=*/20), options);
+  if (!standard.ok()) {
+    std::fprintf(stderr, "Solve failed: %s\n",
+                 standard.status().ToString().c_str());
+    return 1;
+  }
   std::printf("P1  (standard budget) : %s\n",
-              standard.report.DebugString().c_str());
+              standard->evaluation->DebugString().c_str());
 
   // 3b. FairTCIM-Budget (P4): same budget, but the per-group influences
   //     pass through a concave wrapper H = log, which rewards lifting the
   //     under-served group first.
-  const ConcaveFunction h = ConcaveFunction::Log();
-  const ExperimentOutcome fair = RunBudgetExperiment(
-      network.graph, network.groups, config, /*budget=*/20, &h);
+  const Result<Solution> fair =
+      Solve(network.graph, network.groups,
+            ProblemSpec::FairBudget(/*budget=*/20, /*deadline=*/20), options);
   std::printf("P4  (fair budget, log): %s\n\n",
-              fair.report.DebugString().c_str());
+              fair->evaluation->DebugString().c_str());
 
   // 3c. The cover problems: find the SMALLEST seed set that influences a
   //     Q = 0.2 fraction — of the whole population (P2) vs of EVERY group
   //     (P6, whose feasible solutions have disparity <= 1 - Q).
-  const ExperimentOutcome p2 = RunCoverExperiment(
-      network.graph, network.groups, config, /*quota=*/0.2, /*fair=*/false);
-  const ExperimentOutcome p6 = RunCoverExperiment(
-      network.graph, network.groups, config, /*quota=*/0.2, /*fair=*/true);
-  std::printf("P2  (standard cover)  : %zu seeds, %s\n",
-              p2.selection.seeds.size(), p2.report.DebugString().c_str());
-  std::printf("P6  (fair cover)      : %zu seeds, %s\n\n",
-              p6.selection.seeds.size(), p6.report.DebugString().c_str());
+  const Result<Solution> p2 =
+      Solve(network.graph, network.groups,
+            ProblemSpec::Cover(/*quota=*/0.2, /*deadline=*/20), options);
+  const Result<Solution> p6 =
+      Solve(network.graph, network.groups,
+            ProblemSpec::FairCover(/*quota=*/0.2, /*deadline=*/20), options);
+  std::printf("P2  (standard cover)  : %zu seeds, %s\n", p2->seeds.size(),
+              p2->evaluation->DebugString().c_str());
+  std::printf("P6  (fair cover)      : %zu seeds, %s\n\n", p6->seeds.size(),
+              p6->evaluation->DebugString().c_str());
 
-  // 4. Any externally chosen seed set can be audited the same way.
+  // 3d. Maximin fairness (SATURATE), the registry's fifth problem: lift
+  //     the WORST-off group as high as B = 20 seeds allow.
+  const Result<Solution> maximin =
+      Solve(network.graph, network.groups,
+            ProblemSpec::Maximin(/*budget=*/20, /*deadline=*/20), options);
+  std::printf("max (maximin, B=20)   : min-group %.4f via solver \"%s\"\n\n",
+              maximin->objective_value, maximin->solver.c_str());
+
+  // 4. Any externally chosen seed set can be audited the same way. A bad
+  //    spec or seed set comes back as a Status, never a crash.
   const std::vector<NodeId> my_seeds = {0, 1, 2, 3, 4};
-  const GroupUtilityReport audit =
-      EvaluateSeedSet(network.graph, network.groups, my_seeds, config);
-  std::printf("audit of {0..4}       : %s\n", audit.DebugString().c_str());
+  const Result<GroupUtilityReport> audit =
+      EvaluateSeeds(network.graph, network.groups, my_seeds,
+                    ProblemSpec::Budget(5, /*deadline=*/20), options);
+  std::printf("audit of {0..4}       : %s\n", audit->DebugString().c_str());
 
   std::printf(
       "\nTakeaway: P4 cut the group disparity from %.3f to %.3f while "
       "keeping %.0f%% of P1's total influence.\n",
-      standard.report.disparity, fair.report.disparity,
-      100.0 * fair.report.total / standard.report.total);
+      standard->evaluation->disparity, fair->evaluation->disparity,
+      100.0 * fair->evaluation->total / standard->evaluation->total);
   return 0;
 }

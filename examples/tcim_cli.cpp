@@ -1,51 +1,67 @@
-// tcim_cli — command-line fair time-critical influence maximization.
-//
-// Loads a graph (edge list) and group assignment from files — or generates
-// the built-in synthetic benchmark — solves the selected problem, and
-// prints the seed set plus a fresh-world evaluation report.
+// tcim_cli — command-line fair time-critical influence maximization,
+// driven entirely by the public facade: flags parse into a ProblemSpec,
+// tcim::Solve() runs it through the SolverRegistry, the Solution carries
+// both the selection estimate and the fresh-world evaluation.
 //
 // Examples:
-//   # budget problem on a generated SBM, fair objective
-//   tcim_cli --problem=budget --fair --budget=30 --tau=20
+//   # P4 (fair budget) on a generated SBM
+//   tcim_cli --problem=fair_budget --budget=30 --tau=20
 //
-//   # cover problem on your own network
+//   # P2 (cover) on your own network
 //   tcim_cli --graph=my.edges --groups=my.groups --undirected \
-//            --problem=cover --quota=0.2 --fair --tau=10
+//            --problem=cover --quota=0.2 --tau=10
 //
-//   # write the chosen seeds to a file
-//   tcim_cli --problem=budget --seeds-out=seeds.txt
+//   # a registered baseline instead of greedy; see what else is available
+//   tcim_cli --problem=budget --solver=degree_discount
+//   tcim_cli --list_solvers
+//
+//   # audit an externally chosen seed set
+//   tcim_cli --audit-seeds=seeds.txt --tau=10
 
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "cli/flags.h"
+#include "api/tcim.h"
 #include "common/string_util.h"
-#include "core/experiment.h"
-#include "graph/datasets.h"
-#include "graph/io.h"
 
 using namespace tcim;
 
+// Writes `seeds` to --seeds-out when set (both solve and audit mode).
+// Returns false (after printing the status) on IO failure.
+bool WriteSeedsIfRequested(const FlagParser& flags,
+                           const std::vector<NodeId>& seeds) {
+  const std::string seeds_out = flags.GetString("seeds-out");
+  if (seeds_out.empty()) return true;
+  std::string payload = "# selected seeds, one node id per line\n";
+  for (const NodeId s : seeds) {
+    payload += StrFormat("%d\n", s);
+  }
+  const Status write_status = WriteStringToFile(payload, seeds_out);
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "error writing seeds: %s\n",
+                 write_status.ToString().c_str());
+    return false;
+  }
+  std::printf("seeds written to %s\n", seeds_out.c_str());
+  return true;
+}
+
 int main(int argc, char** argv) {
   FlagParser flags;
+  AddProblemSpecFlags(flags);
   flags.AddString("graph", "", "edge-list file; empty = synthetic SBM");
   flags.AddString("groups", "", "group file; required with --graph");
   flags.AddBool("undirected", false, "treat edge-list lines as undirected");
   flags.AddDouble("pe", 0.05, "default activation probability for edges");
-  flags.AddString("problem", "budget", "budget | cover | audit");
-  flags.AddString("audit-seeds", "", "seed file to evaluate (problem=audit)");
-  flags.AddBool("fair", false, "use the fair surrogate (P4 / P6)");
-  flags.AddString("h", "log", "concave wrapper: log | sqrt | identity");
-  flags.AddInt("budget", 30, "seed budget B (budget problem)");
-  flags.AddDouble("quota", 0.2, "coverage quota Q (cover problem)");
-  flags.AddInt("tau", 20, "time deadline; 0 or negative = infinity");
+  flags.AddString("audit-seeds", "",
+                  "evaluate this seed file instead of solving");
   flags.AddInt("worlds", 200, "Monte-Carlo worlds for selection");
   flags.AddInt("eval-worlds", 0, "evaluation worlds; 0 = same as --worlds");
   flags.AddInt("seed", 42, "random seed for the synthetic generator");
-  flags.AddString("model", "ic", "diffusion model: ic | lt");
   flags.AddString("seeds-out", "", "write selected seeds to this file");
+  flags.AddBool("list_solvers", false, "print the solver registry and exit");
   flags.AddBool("help", false, "print usage");
 
   const Status status = flags.Parse(argc - 1, argv + 1);
@@ -59,6 +75,22 @@ int main(int argc, char** argv) {
                 flags.Help().c_str());
     return 0;
   }
+  if (flags.GetBool("list_solvers")) {
+    std::printf("%s", SolverRegistry::Global().ListSolvers().c_str());
+    return 0;
+  }
+
+  // --- Flags -> ProblemSpec. ------------------------------------------------
+  const Result<ProblemSpec> spec_result = ProblemSpecFromFlags(flags);
+  if (!spec_result.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec_result.status().ToString().c_str());
+    return 2;
+  }
+  const ProblemSpec& spec = *spec_result;
+
+  SolveOptions options;
+  options.num_worlds = static_cast<int>(flags.GetInt("worlds"));
+  options.eval_num_worlds = static_cast<int>(flags.GetInt("eval-worlds"));
 
   // --- Load or generate the network. ---------------------------------------
   Graph graph;
@@ -70,10 +102,10 @@ int main(int argc, char** argv) {
     groups = std::move(gg.groups);
     std::printf("using the built-in synthetic SBM benchmark\n");
   } else {
-    EdgeListOptions options;
-    options.undirected = flags.GetBool("undirected");
-    options.default_probability = flags.GetDouble("pe");
-    auto graph_result = LoadEdgeList(flags.GetString("graph"), options);
+    EdgeListOptions load_options;
+    load_options.undirected = flags.GetBool("undirected");
+    load_options.default_probability = flags.GetDouble("pe");
+    auto graph_result = LoadEdgeList(flags.GetString("graph"), load_options);
     if (!graph_result.ok()) {
       std::fprintf(stderr, "error loading graph: %s\n",
                    graph_result.status().ToString().c_str());
@@ -96,96 +128,52 @@ int main(int argc, char** argv) {
   std::printf("graph : %s\n", graph.DebugString().c_str());
   std::printf("groups: %s\n", groups->DebugString().c_str());
 
-  // --- Configure the experiment. -------------------------------------------
-  ExperimentConfig config;
-  const int64_t tau = flags.GetInt("tau");
-  config.deadline = tau <= 0 ? kNoDeadline : static_cast<int>(tau);
-  config.num_worlds = static_cast<int>(flags.GetInt("worlds"));
-  config.eval_num_worlds = static_cast<int>(flags.GetInt("eval-worlds"));
-  const std::string model = flags.GetString("model");
-  if (model == "lt") {
-    config.model = DiffusionModel::kLinearThreshold;
-  } else if (model != "ic") {
-    std::fprintf(stderr, "error: unknown --model=%s (ic | lt)\n",
-                 model.c_str());
-    return 2;
-  }
-
-  std::optional<ConcaveFunction> h;
-  if (flags.GetBool("fair")) {
-    const std::string name = flags.GetString("h");
-    if (name == "log") {
-      h = ConcaveFunction::Log();
-    } else if (name == "sqrt") {
-      h = ConcaveFunction::Sqrt();
-    } else if (name == "identity") {
-      h = ConcaveFunction::Identity();
-    } else {
-      std::fprintf(stderr, "error: unknown --h=%s (log | sqrt | identity)\n",
-                   name.c_str());
-      return 2;
-    }
-  }
-
-  // --- Solve (or audit a given seed set). ------------------------------------
-  ExperimentOutcome outcome;
-  const std::string problem = flags.GetString("problem");
-  if (problem == "audit") {
-    const std::string seed_path = flags.GetString("audit-seeds");
-    if (seed_path.empty()) {
-      std::fprintf(stderr, "error: --problem=audit needs --audit-seeds\n");
-      return 2;
-    }
-    auto seeds = LoadSeedFile(seed_path, graph.num_nodes());
+  // --- Audit mode: evaluate a given seed set and stop. ----------------------
+  const std::string audit_path = flags.GetString("audit-seeds");
+  if (!audit_path.empty()) {
+    auto seeds = LoadSeedFile(audit_path, graph.num_nodes());
     if (!seeds.ok()) {
       std::fprintf(stderr, "error loading seeds: %s\n",
                    seeds.status().ToString().c_str());
       return 1;
     }
-    outcome.selection.seeds = *seeds;
-    outcome.report = EvaluateSeedSet(graph, *groups, *seeds, config);
-  } else if (problem == "budget") {
-    outcome = RunBudgetExperiment(graph, *groups, config,
-                                  static_cast<int>(flags.GetInt("budget")),
-                                  h ? &*h : nullptr);
-  } else if (problem == "cover") {
-    outcome = RunCoverExperiment(graph, *groups, config,
-                                 flags.GetDouble("quota"),
-                                 /*fair=*/flags.GetBool("fair"));
-  } else {
-    std::fprintf(stderr, "error: unknown --problem=%s (budget | cover | audit)\n",
-                 problem.c_str());
-    return 2;
-  }
-
-  // --- Report. ----------------------------------------------------------------
-  std::printf("\nselected %zu seeds:", outcome.selection.seeds.size());
-  for (const NodeId s : outcome.selection.seeds) std::printf(" %d", s);
-  std::printf("\n\nfresh-world evaluation: %s\n",
-              outcome.report.DebugString().c_str());
-  for (GroupId g = 0; g < groups->num_groups(); ++g) {
-    std::printf("  group %d: size %5d, utility %.4f\n", g,
-                groups->GroupSize(g), outcome.report.normalized[g]);
-  }
-  if (problem == "cover") {
-    std::printf("quota %s %s on the selection estimate\n",
-                FormatDouble(flags.GetDouble("quota")).c_str(),
-                outcome.selection.target_reached ? "REACHED" : "NOT reached");
-  }
-
-  const std::string seeds_out = flags.GetString("seeds-out");
-  if (!seeds_out.empty()) {
-    std::string payload = "# selected seeds, one node id per line\n";
-    for (const NodeId s : outcome.selection.seeds) {
-      payload += StrFormat("%d\n", s);
-    }
-    const Status write_status = WriteStringToFile(payload, seeds_out);
-    if (!write_status.ok()) {
-      std::fprintf(stderr, "error writing seeds: %s\n",
-                   write_status.ToString().c_str());
+    const Result<GroupUtilityReport> report =
+        EvaluateSeeds(graph, *groups, *seeds, spec, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
       return 1;
     }
-    std::printf("seeds written to %s\n", seeds_out.c_str());
+    std::printf("\naudit of %zu seeds: %s\n", seeds->size(),
+                report->DebugString().c_str());
+    for (GroupId g = 0; g < groups->num_groups(); ++g) {
+      std::printf("  group %d: size %5d, utility %.4f\n", g,
+                  groups->GroupSize(g), report->normalized[g]);
+    }
+    return WriteSeedsIfRequested(flags, *seeds) ? 0 : 1;
   }
-  return 0;
+
+  // --- Solve through the facade. --------------------------------------------
+  Result<Solution> solution = Solve(graph, *groups, spec, options);
+  if (!solution.ok()) {
+    std::fprintf(stderr, "error: %s\n", solution.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Report. --------------------------------------------------------------
+  std::printf("\n%s\n", solution->DebugString().c_str());
+  std::printf("\nselected %zu seeds:", solution->seeds.size());
+  for (const NodeId s : solution->seeds) std::printf(" %d", s);
+  std::printf("\n\nfresh-world evaluation: %s\n",
+              solution->evaluation->DebugString().c_str());
+  for (GroupId g = 0; g < groups->num_groups(); ++g) {
+    std::printf("  group %d: size %5d, utility %.4f\n", g,
+                groups->GroupSize(g), solution->evaluation->normalized[g]);
+  }
+  if (spec.kind == ProblemKind::kCover || spec.kind == ProblemKind::kFairCover) {
+    std::printf("quota %s %s on the selection estimate\n",
+                FormatDouble(spec.quota).c_str(),
+                solution->target_reached ? "REACHED" : "NOT reached");
+  }
+
+  return WriteSeedsIfRequested(flags, solution->seeds) ? 0 : 1;
 }

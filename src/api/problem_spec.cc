@@ -1,0 +1,239 @@
+#include "api/problem_spec.h"
+
+#include "common/string_util.h"
+
+namespace tcim {
+
+namespace {
+
+bool UsesBudget(ProblemKind kind) {
+  return kind == ProblemKind::kBudget || kind == ProblemKind::kFairBudget ||
+         kind == ProblemKind::kMaximin;
+}
+
+bool UsesQuota(ProblemKind kind) {
+  return kind == ProblemKind::kCover || kind == ProblemKind::kFairCover;
+}
+
+}  // namespace
+
+const char* ProblemKindName(ProblemKind kind) {
+  switch (kind) {
+    case ProblemKind::kBudget:
+      return "budget";
+    case ProblemKind::kFairBudget:
+      return "fair_budget";
+    case ProblemKind::kCover:
+      return "cover";
+    case ProblemKind::kFairCover:
+      return "fair_cover";
+    case ProblemKind::kMaximin:
+      return "maximin";
+  }
+  return "unknown";
+}
+
+Result<ProblemKind> ParseProblemKind(const std::string& text) {
+  if (text == "budget" || text == "p1") return ProblemKind::kBudget;
+  if (text == "fair_budget" || text == "p4") return ProblemKind::kFairBudget;
+  if (text == "cover" || text == "p2") return ProblemKind::kCover;
+  if (text == "fair_cover" || text == "p6") return ProblemKind::kFairCover;
+  if (text == "maximin") return ProblemKind::kMaximin;
+  return InvalidArgumentError(
+      "unknown problem \"" + text +
+      "\"; expected budget (p1), fair_budget (p4), cover (p2), "
+      "fair_cover (p6), or maximin");
+}
+
+namespace {
+
+// The checks shared by solving and evaluation: deadline and the oracle
+// backend configuration.
+Status ValidateOracleConfig(const ProblemSpec& spec) {
+  if (spec.deadline <= 0) {
+    return InvalidArgumentError(
+        StrFormat("deadline must be positive (use kNoDeadline for infinity), "
+                  "got %d",
+                  spec.deadline));
+  }
+  if (spec.oracle != "montecarlo" && spec.oracle != "arrival") {
+    return InvalidArgumentError("unknown oracle \"" + spec.oracle +
+                                "\"; known backends: montecarlo, arrival");
+  }
+  if (spec.oracle == "arrival") {
+    if (spec.temporal_weight != "step" && spec.temporal_weight != "exponential" &&
+        spec.temporal_weight != "linear") {
+      return InvalidArgumentError(
+          "unknown temporal_weight \"" + spec.temporal_weight +
+          "\"; known weights: step, exponential, linear");
+    }
+    if (spec.deadline >= kNoDeadline) {
+      return InvalidArgumentError(
+          "the arrival oracle needs a finite deadline as its horizon; "
+          "got deadline = infinity");
+    }
+    if (spec.temporal_weight == "exponential" &&
+        (spec.discount_gamma <= 0.0 || spec.discount_gamma > 1.0)) {
+      return InvalidArgumentError(
+          StrFormat("discount_gamma must be in (0, 1], got %s",
+                    FormatDouble(spec.discount_gamma).c_str()));
+    }
+    if (spec.meeting_probability <= 0.0 || spec.meeting_probability > 1.0) {
+      return InvalidArgumentError(
+          StrFormat("meeting_probability must be in (0, 1], got %s",
+                    FormatDouble(spec.meeting_probability).c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+// Graph/groups arity checks shared by solving and evaluation.
+Status ValidateInstance(const Graph& graph, const GroupAssignment& groups) {
+  if (graph.num_nodes() == 0) {
+    return InvalidArgumentError("graph has no nodes");
+  }
+  if (groups.num_nodes() != graph.num_nodes()) {
+    return InvalidArgumentError(StrFormat(
+        "group assignment covers %d nodes but the graph has %d",
+        groups.num_nodes(), graph.num_nodes()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ProblemSpec::Validate() const {
+  TCIM_RETURN_IF_ERROR(ValidateOracleConfig(*this));
+  if (UsesBudget(kind) && budget <= 0) {
+    return InvalidArgumentError(StrFormat(
+        "problem \"%s\" needs a positive budget, got %d", ProblemKindName(kind),
+        budget));
+  }
+  if (UsesQuota(kind) && (quota <= 0.0 || quota > 1.0)) {
+    return InvalidArgumentError(
+        StrFormat("problem \"%s\" needs a quota in (0, 1], got %s",
+                  ProblemKindName(kind), FormatDouble(quota).c_str()));
+  }
+  if (kind == ProblemKind::kMaximin) {
+    if (budget_relaxation < 1.0) {
+      return InvalidArgumentError(
+          StrFormat("budget_relaxation must be >= 1, got %s",
+                    FormatDouble(budget_relaxation).c_str()));
+    }
+    if (level_tolerance <= 0.0) {
+      return InvalidArgumentError(
+          StrFormat("level_tolerance must be positive, got %s",
+                    FormatDouble(level_tolerance).c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProblemSpec::ValidateFor(const Graph& graph,
+                                const GroupAssignment& groups) const {
+  TCIM_RETURN_IF_ERROR(Validate());
+  TCIM_RETURN_IF_ERROR(ValidateInstance(graph, groups));
+  if (UsesBudget(kind) && budget > graph.num_nodes()) {
+    return InvalidArgumentError(
+        StrFormat("budget %d exceeds the graph's %d nodes", budget,
+                  graph.num_nodes()));
+  }
+  if (!group_policy.weights.empty() &&
+      group_policy.weights.size() !=
+          static_cast<size_t>(groups.num_groups())) {
+    return InvalidArgumentError(StrFormat(
+        "group_policy.weights has %zu entries but there are %d groups",
+        group_policy.weights.size(), groups.num_groups()));
+  }
+  for (const double weight : group_policy.weights) {
+    if (weight < 0.0) {
+      return InvalidArgumentError(
+          StrFormat("group_policy.weights must be nonnegative, got %s",
+                    FormatDouble(weight).c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProblemSpec::ValidateForEvaluation(const Graph& graph,
+                                          const GroupAssignment& groups) const {
+  TCIM_RETURN_IF_ERROR(ValidateOracleConfig(*this));
+  return ValidateInstance(graph, groups);
+}
+
+ProblemSpec ProblemSpec::Budget(int budget, int deadline) {
+  ProblemSpec spec;
+  spec.kind = ProblemKind::kBudget;
+  spec.budget = budget;
+  spec.deadline = deadline;
+  return spec;
+}
+
+ProblemSpec ProblemSpec::FairBudget(int budget, int deadline,
+                                    ConcaveFunction h) {
+  ProblemSpec spec;
+  spec.kind = ProblemKind::kFairBudget;
+  spec.budget = budget;
+  spec.deadline = deadline;
+  spec.concave = h;
+  return spec;
+}
+
+ProblemSpec ProblemSpec::Cover(double quota, int deadline) {
+  ProblemSpec spec;
+  spec.kind = ProblemKind::kCover;
+  spec.quota = quota;
+  spec.deadline = deadline;
+  return spec;
+}
+
+ProblemSpec ProblemSpec::FairCover(double quota, int deadline) {
+  ProblemSpec spec;
+  spec.kind = ProblemKind::kFairCover;
+  spec.quota = quota;
+  spec.deadline = deadline;
+  return spec;
+}
+
+ProblemSpec ProblemSpec::Maximin(int budget, int deadline) {
+  ProblemSpec spec;
+  spec.kind = ProblemKind::kMaximin;
+  spec.budget = budget;
+  spec.deadline = deadline;
+  return spec;
+}
+
+Status SolveOptions::Validate(const Graph& graph) const {
+  if (num_worlds <= 0) {
+    return InvalidArgumentError(
+        StrFormat("num_worlds must be positive, got %d", num_worlds));
+  }
+  if (eval_num_worlds < 0) {
+    return InvalidArgumentError(
+        StrFormat("eval_num_worlds must be >= 0, got %d", eval_num_worlds));
+  }
+  if (stochastic_epsilon < 0.0 || stochastic_epsilon >= 1.0) {
+    return InvalidArgumentError(
+        StrFormat("stochastic_epsilon must be in [0, 1), got %s",
+                  FormatDouble(stochastic_epsilon).c_str()));
+  }
+  if (max_seeds <= 0) {
+    return InvalidArgumentError(
+        StrFormat("max_seeds must be positive, got %d", max_seeds));
+  }
+  if (candidates != nullptr) {
+    if (candidates->empty()) {
+      return InvalidArgumentError("candidates must be null or non-empty");
+    }
+    for (const NodeId v : *candidates) {
+      if (v < 0 || v >= graph.num_nodes()) {
+        return InvalidArgumentError(StrFormat(
+            "candidate node %d is outside the graph's %d nodes", v,
+            graph.num_nodes()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcim

@@ -1,0 +1,155 @@
+// ProblemSpec — a value-type description of ONE time-critical influence
+// maximization problem instance, covering the paper's whole family:
+//
+//   kBudget      P1  max f_τ(S;V)            s.t. |S| ≤ B
+//   kFairBudget  P4  max Σ_i λ_i H(f_τ(S;V_i)) s.t. |S| ≤ B
+//   kCover       P2  min |S|                 s.t. f_τ(S;V)/|V| ≥ Q
+//   kFairCover   P6  min |S|                 s.t. f_τ(S;V_i)/|V_i| ≥ Q ∀i
+//   kMaximin         max min_i f_τ(S;V_i)/|V_i| s.t. |S| ≤ B  (SATURATE)
+//
+// A spec names WHAT to solve (problem kind, deadline, budget/quota, group
+// policy, diffusion model) and WHICH machinery to use (solver registry key,
+// oracle backend). HOW hard to work (worlds, seeds, laziness, threads) lives
+// in SolveOptions so one spec can be solved at different fidelities.
+//
+// All user-input validation returns Status (never CHECK-crashes): see
+// ProblemSpec::Validate / ValidateFor and SolveOptions::Validate.
+
+#ifndef TCIM_API_PROBLEM_SPEC_H_
+#define TCIM_API_PROBLEM_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/concave.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+#include "sim/cascade.h"
+#include "sim/live_edge.h"
+
+namespace tcim {
+
+enum class ProblemKind {
+  kBudget = 0,   // P1
+  kFairBudget,   // P4
+  kCover,        // P2
+  kFairCover,    // P6
+  kMaximin,
+};
+
+// Stable lowercase name: "budget", "fair_budget", "cover", "fair_cover",
+// "maximin".
+const char* ProblemKindName(ProblemKind kind);
+
+// Parses a kind name; also accepts the paper's labels "p1", "p4", "p2",
+// "p6". The error message lists every accepted spelling.
+Result<ProblemKind> ParseProblemKind(const std::string& text);
+
+// Per-group weighting policy for the fair-budget objective (P4):
+// Σ_i λ_i H(s_i · f_i) with λ from `weights` and s_i = 1/|V_i| when
+// `normalize_by_group_size`.
+struct GroupPolicy {
+  // λ_i per group; empty means all 1. Must match num_groups when set.
+  std::vector<double> weights;
+  bool normalize_by_group_size = false;
+};
+
+struct ProblemSpec {
+  ProblemKind kind = ProblemKind::kBudget;
+
+  // Time deadline τ; kNoDeadline means τ = ∞.
+  int deadline = kNoDeadline;
+
+  // Seed budget B (budget / fair-budget / maximin problems).
+  int budget = 30;
+
+  // Coverage quota Q ∈ (0, 1] (cover / fair-cover problems).
+  double quota = 0.2;
+
+  // Concave wrapper H for the fair-budget surrogate (P4).
+  ConcaveFunction concave = ConcaveFunction::Log();
+  GroupPolicy group_policy;
+
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+
+  // Registry key of the solver; empty picks DefaultSolverName(kind).
+  std::string solver;
+
+  // Oracle backend: "montecarlo" (bit-packed covered sets, the paper's
+  // Eq. 1 step utility) or "arrival" (earliest-arrival times with general
+  // temporal weights / IC-M delays). See api/solve.h.
+  std::string oracle = "montecarlo";
+
+  // Arrival-backend temporal weight: "step", "exponential", or "linear"
+  // (all need a finite deadline as horizon).
+  std::string temporal_weight = "step";
+  // Discount factor γ for temporal_weight == "exponential".
+  double discount_gamma = 0.98;
+  // Meeting probability m of IC-M transmission delays; 1 = classic unit
+  // delays (only meaningful for the arrival backend).
+  double meeting_probability = 1.0;
+
+  // Maximin (SATURATE) knobs; see core/maximin.h.
+  double budget_relaxation = 1.0;
+  double level_tolerance = 1e-3;
+
+  // Graph-independent sanity checks with precise messages.
+  Status Validate() const;
+  // Validate() plus instance-dependent checks (budget vs n, weight arity).
+  Status ValidateFor(const Graph& graph, const GroupAssignment& groups) const;
+  // The subset of checks evaluation depends on (deadline, oracle backend,
+  // graph/groups arity) — solver-only fields like budget and quota are
+  // irrelevant when only re-estimating an existing seed set.
+  Status ValidateForEvaluation(const Graph& graph,
+                               const GroupAssignment& groups) const;
+
+  // Convenience constructors for the five problems.
+  static ProblemSpec Budget(int budget, int deadline = kNoDeadline);
+  static ProblemSpec FairBudget(int budget, int deadline = kNoDeadline,
+                                ConcaveFunction h = ConcaveFunction::Log());
+  static ProblemSpec Cover(double quota, int deadline = kNoDeadline);
+  static ProblemSpec FairCover(double quota, int deadline = kNoDeadline);
+  static ProblemSpec Maximin(int budget, int deadline = kNoDeadline);
+};
+
+// Effort/fidelity knobs, independent of what is being solved. Defaults
+// reproduce the legacy ExperimentConfig protocol (§6.1): selection on one
+// world set, evaluation on an independent one.
+struct SolveOptions {
+  // Monte-Carlo worlds used for seed selection.
+  int num_worlds = 200;
+  // Worlds for the fresh-world evaluation; 0 means "same as num_worlds".
+  int eval_num_worlds = 0;
+  uint64_t selection_seed = 0x5e1ec7ull;
+  uint64_t evaluation_seed = 0xe7a1ull;
+
+  // Re-estimate the chosen seeds on independent worlds (Solution.evaluation).
+  bool evaluate = true;
+
+  // CELF lazy evaluation (identical output to plain greedy up to ties).
+  bool lazy = true;
+  // Stochastic greedy ε (Mirzasoleiman et al. AAAI'15); 0 disables.
+  double stochastic_epsilon = 0.0;
+
+  // Safety cap on |S| for the cover problems.
+  int max_seeds = 500;
+
+  // Restrict selection to these nodes; nullptr allows every node. Must
+  // outlive the Solve call.
+  const std::vector<NodeId>* candidates = nullptr;
+
+  // RNG seed for randomized baseline solvers (e.g. "random").
+  uint64_t baseline_seed = 0xba5e11ull;
+
+  // Worker pool; nullptr uses ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+
+  Status Validate(const Graph& graph) const;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_API_PROBLEM_SPEC_H_

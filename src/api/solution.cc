@@ -1,0 +1,22 @@
+#include "api/solution.h"
+
+#include "common/string_util.h"
+
+namespace tcim {
+
+std::string Solution::DebugString() const {
+  std::string text = StrFormat(
+      "problem=%s solver=%s oracle=%s |S|=%zu objective=%s", problem.c_str(),
+      solver.c_str(), oracle.c_str(), seeds.size(),
+      FormatDouble(objective_value, 4).c_str());
+  if (target_reached) text += " target_reached";
+  text += StrFormat(" oracle_calls=%lld select=%.2fs",
+                    static_cast<long long>(diagnostics.oracle_calls),
+                    selection_seconds);
+  if (evaluation.has_value()) {
+    text += " eval{" + evaluation->DebugString() + "}";
+  }
+  return text;
+}
+
+}  // namespace tcim

@@ -1,0 +1,73 @@
+// Solution — what tcim::Solve() returns: the chosen seeds, the per-group
+// coverage story behind them, estimator diagnostics, and (by default) an
+// independent fresh-world evaluation following the paper's §6.1 protocol.
+
+#ifndef TCIM_API_SOLUTION_H_
+#define TCIM_API_SOLUTION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fairness.h"
+#include "core/greedy.h"
+#include "graph/graph.h"
+#include "sim/oracle_interface.h"
+
+namespace tcim {
+
+// One seed-selection step (node picked, gain, objective, coverage after).
+using SolutionStep = GreedyStep;
+
+// Estimator / search diagnostics, for logs and regression tracking.
+struct SolveDiagnostics {
+  // Marginal-gain evaluations spent during selection.
+  int64_t oracle_calls = 0;
+  // Worlds used for selection / evaluation.
+  int num_worlds = 0;
+  int eval_num_worlds = 0;
+  // Maximin (SATURATE) only: best feasible level and probe count.
+  double saturation_level = 0.0;
+  int probes = 0;
+};
+
+struct Solution {
+  // The chosen seed set, in selection order.
+  std::vector<NodeId> seeds;
+
+  // Selection-time estimates: per-group expected counts, normalized
+  // fractions f_i/|V_i|, and the solved objective's value.
+  GroupVector coverage;
+  std::vector<double> normalized;
+  double objective_value = 0.0;
+
+  // Cover problems: whether the quota was reached on the estimate.
+  bool target_reached = false;
+
+  // Per-iteration coverage trace (iteration-style figures; empty for
+  // solvers that do not select incrementally).
+  std::vector<SolutionStep> trace;
+
+  // Provenance: which problem/solver/oracle produced this.
+  std::string problem;
+  std::string solver;
+  std::string oracle;
+
+  // Wall-clock split.
+  double selection_seconds = 0.0;
+  double evaluation_seconds = 0.0;
+
+  SolveDiagnostics diagnostics;
+
+  // Fresh-world re-estimate of `seeds` on the independent evaluation
+  // worlds; present unless SolveOptions::evaluate was false.
+  std::optional<GroupUtilityReport> evaluation;
+
+  // "solver=greedy problem=cover |S|=12 objective=0.2 ..." one-liner.
+  std::string DebugString() const;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_API_SOLUTION_H_

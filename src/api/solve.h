@@ -1,0 +1,44 @@
+// tcim::Solve — the single entry point for every problem in the paper's
+// family (and the registered baselines / oracle backends around them).
+//
+//   ProblemSpec spec = ProblemSpec::FairBudget(/*budget=*/30, /*deadline=*/20);
+//   Result<Solution> solution = Solve(graph, groups, spec);
+//   if (!solution.ok()) { ... solution.status() explains what was invalid ... }
+//
+// Solve validates the spec (returning Status instead of crashing on bad
+// user input), resolves the solver in the SolverRegistry, builds the
+// requested oracle backend, runs selection, and — unless disabled — re-
+// estimates the chosen seeds on an independent world set (§6.1 protocol).
+
+#ifndef TCIM_API_SOLVE_H_
+#define TCIM_API_SOLVE_H_
+
+#include <vector>
+
+#include "api/problem_spec.h"
+#include "api/solution.h"
+#include "common/status.h"
+#include "core/fairness.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+// Solves `spec` on (graph, groups). Errors are InvalidArgument statuses
+// with precise messages (unknown solver names list the registry contents).
+Result<Solution> Solve(const Graph& graph, const GroupAssignment& groups,
+                       const ProblemSpec& spec,
+                       const SolveOptions& options = SolveOptions());
+
+// Evaluates an externally chosen seed set under the spec's deadline /
+// model / oracle backend on the *evaluation* worlds — the audit path.
+Result<GroupUtilityReport> EvaluateSeeds(const Graph& graph,
+                                         const GroupAssignment& groups,
+                                         const std::vector<NodeId>& seeds,
+                                         const ProblemSpec& spec,
+                                         const SolveOptions& options =
+                                             SolveOptions());
+
+}  // namespace tcim
+
+#endif  // TCIM_API_SOLVE_H_

@@ -1,0 +1,85 @@
+#include "api/solver_registry.h"
+
+#include <algorithm>
+
+namespace tcim {
+
+namespace internal {
+// Defined in api/solvers.cc. Referencing it from Global() forces the
+// linker to pull the built-in solvers' object file out of the static
+// library, so their self-registration actually runs.
+void AnchorBuiltinSolvers();
+}  // namespace internal
+
+GroupCoverageOracle& SolverContext::oracle() {
+  if (oracle_ == nullptr) {
+    oracle_ = oracle_factory_();
+    TCIM_CHECK(oracle_ != nullptr);
+  }
+  return *oracle_;
+}
+
+SolverRegistry& SolverRegistry::Global() {
+  internal::AnchorBuiltinSolvers();
+  static SolverRegistry* registry = new SolverRegistry();
+  return *registry;
+}
+
+Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
+  TCIM_CHECK(solver != nullptr);
+  const std::string name = solver->name();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = solvers_.emplace(name, std::move(solver));
+  (void)it;
+  if (!inserted) {
+    return InvalidArgumentError("solver \"" + name + "\" is already registered");
+  }
+  return Status::Ok();
+}
+
+const Solver* SolverRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = solvers_.find(name);
+  return it == solvers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> SolverRegistry::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(solvers_.size());
+  for (const auto& [name, solver] : solvers_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::string SolverRegistry::ListSolvers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, solver] : solvers_) {
+    out += name + " — " + solver->description() + " (problems:";
+    for (const ProblemKind kind :
+         {ProblemKind::kBudget, ProblemKind::kFairBudget, ProblemKind::kCover,
+          ProblemKind::kFairCover, ProblemKind::kMaximin}) {
+      if (solver->Supports(kind)) {
+        out += std::string(" ") + ProblemKindName(kind);
+      }
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+const char* DefaultSolverName(ProblemKind kind) {
+  return kind == ProblemKind::kMaximin ? "saturate" : "greedy";
+}
+
+namespace internal {
+
+bool RegisterSolverOrDie(std::unique_ptr<Solver> solver) {
+  const Status status = SolverRegistry::Global().Register(std::move(solver));
+  TCIM_CHECK(status.ok()) << status.ToString();
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace tcim

@@ -1,0 +1,128 @@
+// SolverRegistry — string-keyed registry of Solver implementations behind
+// tcim::Solve(). Built-in solvers ("greedy", "saturate", the heuristic
+// baselines) register themselves; external code can add its own with
+// TCIM_REGISTER_SOLVER and reach it through ProblemSpec::solver.
+//
+// A Solver sees a SolverContext: the instance (graph, groups, spec,
+// options) plus a lazily-built coverage oracle, so oracle-free heuristics
+// (degree, pagerank, ...) never pay for Monte-Carlo world sampling unless
+// they ask for coverage numbers.
+
+#ifndef TCIM_API_SOLVER_REGISTRY_H_
+#define TCIM_API_SOLVER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/problem_spec.h"
+#include "api/solution.h"
+#include "common/status.h"
+#include "sim/oracle_interface.h"
+
+namespace tcim {
+
+class SolverContext {
+ public:
+  using OracleFactory =
+      std::function<std::unique_ptr<GroupCoverageOracle>()>;
+
+  // All referenced objects must outlive the context.
+  SolverContext(const Graph& graph, const GroupAssignment& groups,
+                const ProblemSpec& spec, const SolveOptions& options,
+                OracleFactory oracle_factory)
+      : graph_(graph),
+        groups_(groups),
+        spec_(spec),
+        options_(options),
+        oracle_factory_(std::move(oracle_factory)) {}
+
+  const Graph& graph() const { return graph_; }
+  const GroupAssignment& groups() const { return groups_; }
+  const ProblemSpec& spec() const { return spec_; }
+  const SolveOptions& options() const { return options_; }
+
+  // The selection oracle for this instance, built on first use.
+  GroupCoverageOracle& oracle();
+
+ private:
+  const Graph& graph_;
+  const GroupAssignment& groups_;
+  const ProblemSpec& spec_;
+  const SolveOptions& options_;
+  OracleFactory oracle_factory_;
+  std::unique_ptr<GroupCoverageOracle> oracle_;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  // Registry key ("greedy", "degree", ...). Stable public API.
+  virtual std::string name() const = 0;
+  // One help line for --list_solvers.
+  virtual std::string description() const = 0;
+  // Whether this solver can handle `kind`; Solve() rejects mismatches with
+  // an InvalidArgument status before doing any work.
+  virtual bool Supports(ProblemKind kind) const = 0;
+
+  virtual Result<Solution> Run(SolverContext& context) const = 0;
+};
+
+class SolverRegistry {
+ public:
+  // The process-wide registry, with built-in solvers already present.
+  static SolverRegistry& Global();
+
+  // Takes ownership; duplicate names are an error.
+  Status Register(std::unique_ptr<Solver> solver);
+
+  // nullptr when unknown.
+  const Solver* Find(const std::string& name) const;
+
+  // All registered names, sorted.
+  std::vector<std::string> RegisteredNames() const;
+
+  // "name — description (problems: ...)" lines for every solver, sorted.
+  std::string ListSolvers() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Solver>> solvers_;
+};
+
+// The registry key Solve() uses when ProblemSpec::solver is empty:
+// "saturate" for maximin, "greedy" otherwise.
+const char* DefaultSolverName(ProblemKind kind);
+
+namespace internal {
+// Register() that treats a name collision as a programmer error: aborts
+// with the status message instead of silently keeping the first solver.
+bool RegisterSolverOrDie(std::unique_ptr<Solver> solver);
+
+// The spec's budget-family objective (total influence for kBudget, the
+// concave sum for kFairBudget) evaluated at a coverage vector. Used to
+// report objective_value for oracle-free solvers so values stay
+// commensurate across solvers run on the same spec.
+double BudgetObjectiveValue(const ProblemSpec& spec,
+                            const GroupAssignment& groups,
+                            const GroupVector& coverage);
+}  // namespace internal
+
+// Registers a Solver subclass at load time (the class needs a default
+// constructor). Use at namespace scope in a .cc file. A name collision
+// aborts at startup — two solvers silently sharing a key would make
+// ProblemSpec::solver ambiguous.
+#define TCIM_REGISTER_SOLVER(SolverClass)                                \
+  namespace {                                                            \
+  [[maybe_unused]] const bool tcim_registered_##SolverClass =            \
+      ::tcim::internal::RegisterSolverOrDie(                             \
+          std::make_unique<SolverClass>());                              \
+  }
+
+}  // namespace tcim
+
+#endif  // TCIM_API_SOLVER_REGISTRY_H_

@@ -1,0 +1,271 @@
+// Built-in Solver implementations: the shared greedy engine behind
+// P1/P2/P4/P6, SATURATE for maximin, and the §4.2 heuristic baselines.
+// Each wraps the corresponding core/ path with wiring identical to the
+// legacy free functions (tests/api_test.cc asserts seed-for-seed equality).
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "api/solver_registry.h"
+#include "common/rng.h"
+#include "core/baselines.h"
+#include "core/budget.h"
+#include "core/cover.h"
+#include "core/fairness.h"
+#include "core/greedy.h"
+#include "core/maximin.h"
+#include "core/objectives.h"
+
+namespace tcim {
+namespace {
+
+Solution FromGreedyResult(GreedyResult result, const GroupAssignment& groups) {
+  Solution solution;
+  solution.seeds = std::move(result.seeds);
+  solution.coverage = std::move(result.coverage);
+  solution.normalized = NormalizeCoverage(solution.coverage, groups);
+  solution.objective_value = result.objective_value;
+  solution.target_reached = result.target_reached;
+  solution.trace = std::move(result.trace);
+  solution.diagnostics.oracle_calls = result.oracle_calls;
+  return solution;
+}
+
+// The paper's engine: lazy greedy over the objective matching the problem
+// kind — exactly the wiring of SolveTcimBudget / SolveFairTcimBudget /
+// SolveTcimCover / SolveFairTcimCover.
+class GreedySolver : public Solver {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::string description() const override {
+    return "CELF lazy greedy on the problem's submodular (surrogate) "
+           "objective";
+  }
+  bool Supports(ProblemKind kind) const override {
+    return kind != ProblemKind::kMaximin;
+  }
+
+  Result<Solution> Run(SolverContext& context) const override {
+    const ProblemSpec& spec = context.spec();
+    const SolveOptions& options = context.options();
+    GroupCoverageOracle& oracle = context.oracle();
+
+    GreedyOptions greedy;
+    greedy.lazy = options.lazy;
+    greedy.stochastic_epsilon = options.stochastic_epsilon;
+    greedy.candidates = options.candidates;
+
+    GreedyResult result;
+    switch (spec.kind) {
+      case ProblemKind::kBudget: {
+        TotalInfluenceObjective objective;
+        greedy.max_seeds = spec.budget;
+        result = RunGreedy(oracle, objective, greedy);
+        break;
+      }
+      case ProblemKind::kFairBudget: {
+        ConcaveSumObjective::Options objective_options;
+        objective_options.weights = spec.group_policy.weights;
+        objective_options.normalize_by_group_size =
+            spec.group_policy.normalize_by_group_size;
+        ConcaveSumObjective objective(spec.concave, &context.groups(),
+                                      std::move(objective_options));
+        greedy.max_seeds = spec.budget;
+        result = RunGreedy(oracle, objective, greedy);
+        break;
+      }
+      case ProblemKind::kCover: {
+        TotalQuotaObjective objective(spec.quota, context.graph().num_nodes());
+        greedy.max_seeds = options.max_seeds;
+        greedy.target_value = objective.SaturationValue();
+        result = RunGreedy(oracle, objective, greedy);
+        break;
+      }
+      case ProblemKind::kFairCover: {
+        TruncatedQuotaObjective objective(spec.quota, &context.groups());
+        greedy.max_seeds = options.max_seeds;
+        greedy.target_value = objective.SaturationValue();
+        result = RunGreedy(oracle, objective, greedy);
+        break;
+      }
+      case ProblemKind::kMaximin:
+        return InternalError("greedy solver dispatched a maximin spec");
+    }
+    return FromGreedyResult(std::move(result), context.groups());
+  }
+};
+TCIM_REGISTER_SOLVER(GreedySolver)
+
+// SATURATE (Krause et al., JMLR'08) for the maximin-fairness problem.
+class SaturateSolver : public Solver {
+ public:
+  std::string name() const override { return "saturate"; }
+  std::string description() const override {
+    return "SATURATE binary search over truncated-quota greedy (maximin "
+           "group fairness)";
+  }
+  bool Supports(ProblemKind kind) const override {
+    return kind == ProblemKind::kMaximin;
+  }
+
+  Result<Solution> Run(SolverContext& context) const override {
+    const ProblemSpec& spec = context.spec();
+    MaximinOptions options;
+    options.budget = spec.budget;
+    options.budget_relaxation = spec.budget_relaxation;
+    options.level_tolerance = spec.level_tolerance;
+    options.lazy = context.options().lazy;
+    options.candidates = context.options().candidates;
+    MaximinResult result = SolveMaximinTcim(context.oracle(), options);
+
+    Solution solution;
+    solution.seeds = std::move(result.seeds);
+    solution.coverage = std::move(result.coverage);
+    solution.normalized = NormalizeCoverage(solution.coverage, context.groups());
+    solution.objective_value = result.min_group_utility;
+    solution.diagnostics.saturation_level = result.saturation_level;
+    solution.diagnostics.probes = result.probes;
+    return solution;
+  }
+};
+TCIM_REGISTER_SOLVER(SaturateSolver)
+
+// Structure-driven baseline seeders (core/baselines.h). They pick seeds
+// without an oracle — when the fresh-world evaluation is on (the default),
+// no selection oracle is sampled at all and Solve() backfills the coverage
+// numbers from the evaluation report. Only with evaluation disabled do
+// they replay the seeds through the selection oracle (which also yields a
+// per-seed trace), so Solution still carries estimates.
+class BaselineSolver : public Solver {
+ public:
+  bool Supports(ProblemKind kind) const override {
+    return kind == ProblemKind::kBudget || kind == ProblemKind::kFairBudget;
+  }
+
+  Result<Solution> Run(SolverContext& context) const override {
+    const std::vector<NodeId> seeds = PickSeeds(context);
+    Solution solution;
+    solution.seeds = seeds;
+    if (context.options().evaluate) return solution;
+
+    GroupCoverageOracle& oracle = context.oracle();
+    oracle.Reset();
+    for (const NodeId seed : seeds) {
+      const GroupVector gain = oracle.AddSeed(seed);
+      SolutionStep step;
+      step.node = seed;
+      step.gain = GroupVectorTotal(gain);
+      step.coverage = oracle.group_coverage();
+      step.objective_value = GroupVectorTotal(step.coverage);
+      solution.trace.push_back(std::move(step));
+    }
+    solution.coverage = oracle.group_coverage();
+    solution.normalized = NormalizeCoverage(solution.coverage, context.groups());
+    solution.objective_value = internal::BudgetObjectiveValue(
+        context.spec(), context.groups(), solution.coverage);
+    solution.diagnostics.oracle_calls =
+        static_cast<int64_t>(seeds.size());
+    return solution;
+  }
+
+ protected:
+  virtual std::vector<NodeId> PickSeeds(SolverContext& context) const = 0;
+};
+
+class DegreeSolver : public BaselineSolver {
+ public:
+  std::string name() const override { return "degree"; }
+  std::string description() const override {
+    return "top-B nodes by out-degree (heuristic baseline)";
+  }
+
+ protected:
+  std::vector<NodeId> PickSeeds(SolverContext& context) const override {
+    return TopDegreeSeeds(context.graph(), context.spec().budget);
+  }
+};
+TCIM_REGISTER_SOLVER(DegreeSolver)
+
+class DegreeDiscountSolver : public BaselineSolver {
+ public:
+  std::string name() const override { return "degree_discount"; }
+  std::string description() const override {
+    return "DegreeDiscount (Chen et al., KDD'09) heuristic baseline";
+  }
+
+ protected:
+  std::vector<NodeId> PickSeeds(SolverContext& context) const override {
+    return DegreeDiscountSeeds(context.graph(), context.spec().budget);
+  }
+};
+TCIM_REGISTER_SOLVER(DegreeDiscountSolver)
+
+class PageRankSolver : public BaselineSolver {
+ public:
+  std::string name() const override { return "pagerank"; }
+  std::string description() const override {
+    return "top-B nodes by PageRank (heuristic baseline)";
+  }
+
+ protected:
+  std::vector<NodeId> PickSeeds(SolverContext& context) const override {
+    return PageRankSeeds(context.graph(), context.spec().budget);
+  }
+};
+TCIM_REGISTER_SOLVER(PageRankSolver)
+
+class RandomSolver : public BaselineSolver {
+ public:
+  std::string name() const override { return "random"; }
+  std::string description() const override {
+    return "B uniform-random seeds (baseline; SolveOptions::baseline_seed)";
+  }
+
+ protected:
+  std::vector<NodeId> PickSeeds(SolverContext& context) const override {
+    Rng rng(context.options().baseline_seed);
+    return RandomSeeds(context.graph(), context.spec().budget, rng);
+  }
+};
+TCIM_REGISTER_SOLVER(RandomSolver)
+
+class GroupProportionalDegreeSolver : public BaselineSolver {
+ public:
+  std::string name() const override { return "group_proportional_degree"; }
+  std::string description() const override {
+    return "top-degree with per-group proportional slots (diversity "
+           "heuristic baseline)";
+  }
+
+ protected:
+  std::vector<NodeId> PickSeeds(SolverContext& context) const override {
+    return GroupProportionalDegreeSeeds(context.graph(), context.groups(),
+                                        context.spec().budget);
+  }
+};
+TCIM_REGISTER_SOLVER(GroupProportionalDegreeSolver)
+
+}  // namespace
+
+namespace internal {
+
+void AnchorBuiltinSolvers() {}
+
+double BudgetObjectiveValue(const ProblemSpec& spec,
+                            const GroupAssignment& groups,
+                            const GroupVector& coverage) {
+  if (spec.kind == ProblemKind::kFairBudget) {
+    ConcaveSumObjective::Options options;
+    options.weights = spec.group_policy.weights;
+    options.normalize_by_group_size = spec.group_policy.normalize_by_group_size;
+    const ConcaveSumObjective objective(spec.concave, &groups,
+                                        std::move(options));
+    return objective.Value(coverage);
+  }
+  return GroupVectorTotal(coverage);
+}
+
+}  // namespace internal
+
+}  // namespace tcim

@@ -1,0 +1,77 @@
+#include "api/spec_flags.h"
+
+#include "common/string_util.h"
+
+namespace tcim {
+
+void AddProblemSpecFlags(FlagParser& flags) {
+  flags.AddChoice("problem", "budget",
+                  {"budget", "fair_budget", "cover", "fair_cover", "maximin",
+                   "p1", "p2", "p4", "p6"},
+                  "which problem of the family to solve");
+  flags.AddString("solver", "",
+                  "solver registry key; empty picks the problem's default "
+                  "(see --list_solvers)");
+  flags.AddChoice("oracle", "montecarlo", {"montecarlo", "arrival"},
+                  "coverage oracle backend");
+  flags.AddInt("budget", 30, "seed budget B (budget/maximin problems)");
+  flags.AddDouble("quota", 0.2, "coverage quota Q (cover problems)");
+  flags.AddInt("tau", 20, "time deadline; 0 or negative = infinity");
+  flags.AddChoice("h", "log", {"log", "sqrt", "identity", "power", "alpha_fair"},
+                  "concave wrapper H for fair_budget");
+  flags.AddDouble("alpha", 0.5, "exponent for --h=power / --h=alpha_fair");
+  flags.AddChoice("model", "ic", {"ic", "lt"}, "diffusion model");
+  flags.AddChoice("weight", "step", {"step", "exponential", "linear"},
+                  "temporal weight (arrival oracle)");
+  flags.AddDouble("gamma", 0.98, "discount factor for --weight=exponential");
+  flags.AddDouble("meeting", 1.0,
+                  "IC-M meeting probability; 1 = unit delays (arrival oracle)");
+}
+
+Result<ProblemSpec> ProblemSpecFromFlags(const FlagParser& flags) {
+  ProblemSpec spec;
+  Result<ProblemKind> kind = ParseProblemKind(flags.GetString("problem"));
+  if (!kind.ok()) return kind.status();
+  spec.kind = *kind;
+
+  const int64_t tau = flags.GetInt("tau");
+  spec.deadline = tau <= 0 ? kNoDeadline : static_cast<int>(tau);
+  spec.budget = static_cast<int>(flags.GetInt("budget"));
+  spec.quota = flags.GetDouble("quota");
+  spec.solver = flags.GetString("solver");
+  spec.oracle = flags.GetString("oracle");
+  spec.temporal_weight = flags.GetString("weight");
+  spec.discount_gamma = flags.GetDouble("gamma");
+  spec.meeting_probability = flags.GetDouble("meeting");
+  const Result<DiffusionModel> model =
+      ParseDiffusionModel(flags.GetString("model"));
+  if (!model.ok()) return model.status();
+  spec.model = *model;
+
+  const std::string h = flags.GetString("h");
+  const double alpha = flags.GetDouble("alpha");
+  if (h == "log") {
+    spec.concave = ConcaveFunction::Log();
+  } else if (h == "sqrt") {
+    spec.concave = ConcaveFunction::Sqrt();
+  } else if (h == "identity") {
+    spec.concave = ConcaveFunction::Identity();
+  } else if (h == "power") {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      return InvalidArgumentError(
+          "--h=power needs --alpha in (0, 1], got " + FormatDouble(alpha));
+    }
+    spec.concave = ConcaveFunction::Power(alpha);
+  } else {  // alpha_fair (AddChoice already rejected anything else)
+    if (alpha < 0.0) {
+      return InvalidArgumentError(
+          "--h=alpha_fair needs --alpha >= 0, got " + FormatDouble(alpha));
+    }
+    spec.concave = ConcaveFunction::AlphaFair(alpha);
+  }
+
+  TCIM_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+}  // namespace tcim

@@ -1,0 +1,29 @@
+// Bridges the CLI flag parser and ProblemSpec: one call declares the
+// --problem= / --solver= / --oracle= flag family, one call parses the
+// values back into a validated spec. Used by examples/tcim_cli.cpp; any
+// other binary can opt into the same flag surface.
+
+#ifndef TCIM_API_SPEC_FLAGS_H_
+#define TCIM_API_SPEC_FLAGS_H_
+
+#include "api/problem_spec.h"
+#include "cli/flags.h"
+#include "common/status.h"
+
+namespace tcim {
+
+// Declares the spec-shaped flags on `flags`:
+//   --problem  budget | fair_budget | cover | fair_cover | maximin | p1..p6
+//   --solver   registry key; empty picks the kind's default
+//   --oracle   montecarlo | arrival
+//   --budget --quota --tau --h --alpha --model
+//   --weight --gamma --meeting  (arrival backend)
+void AddProblemSpecFlags(FlagParser& flags);
+
+// Builds a ProblemSpec from parsed flag values. Returns InvalidArgument
+// (not a crash) for bad combinations; the spec is already Validate()d.
+Result<ProblemSpec> ProblemSpecFromFlags(const FlagParser& flags);
+
+}  // namespace tcim
+
+#endif  // TCIM_API_SPEC_FLAGS_H_

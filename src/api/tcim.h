@@ -1,0 +1,33 @@
+// tcim.h — umbrella header for the TCIM public API.
+//
+// Quickstart:
+//
+//   #include "api/tcim.h"
+//
+//   tcim::Rng rng(42);
+//   const tcim::GroupedGraph gg = tcim::datasets::SyntheticDefault(rng);
+//   const tcim::ProblemSpec spec =
+//       tcim::ProblemSpec::FairBudget(/*budget=*/30, /*deadline=*/20);
+//   const tcim::Result<tcim::Solution> solution =
+//       tcim::Solve(gg.graph, gg.groups, spec);
+//   if (!solution.ok()) { /* solution.status() says what was wrong */ }
+//   for (tcim::NodeId seed : solution->seeds) { /* ... */ }
+//   // solution->evaluation holds the independent fresh-world report.
+//
+// Everything a client needs — ProblemSpec, Solve(), Solution, the
+// SolverRegistry (for custom solvers), the CLI flag bridge, datasets, and
+// graph/group IO — is reachable from this one include; link `tcim_api`.
+
+#ifndef TCIM_API_TCIM_H_
+#define TCIM_API_TCIM_H_
+
+#include "api/problem_spec.h"
+#include "api/solution.h"
+#include "api/solve.h"
+#include "api/solver_registry.h"
+#include "api/spec_flags.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+#endif  // TCIM_API_TCIM_H_

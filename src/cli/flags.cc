@@ -12,6 +12,23 @@ void FlagParser::AddString(const std::string& name,
   flags_[name] = Flag{Type::kString, default_value, default_value, help};
 }
 
+void FlagParser::AddChoice(const std::string& name,
+                           const std::string& default_value,
+                           const std::vector<std::string>& choices,
+                           const std::string& help) {
+  TCIM_CHECK(!flags_.count(name)) << "duplicate flag: " << name;
+  TCIM_CHECK(!choices.empty()) << "flag --" << name << " has no choices";
+  bool default_is_choice = false;
+  for (const std::string& choice : choices) {
+    default_is_choice = default_is_choice || choice == default_value;
+  }
+  TCIM_CHECK(default_is_choice)
+      << "flag --" << name << " default \"" << default_value
+      << "\" is not one of its choices";
+  Flag flag{Type::kString, default_value, default_value, help, choices};
+  flags_[name] = std::move(flag);
+}
+
 void FlagParser::AddInt(const std::string& name, int64_t default_value,
                         const std::string& help) {
   TCIM_CHECK(!flags_.count(name)) << "duplicate flag: " << name;
@@ -67,6 +84,21 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
     // Validate by type.
     switch (flag.type) {
       case Type::kString:
+        if (!flag.choices.empty()) {
+          bool is_choice = false;
+          for (const std::string& choice : flag.choices) {
+            is_choice = is_choice || choice == value;
+          }
+          if (!is_choice) {
+            std::string accepted;
+            for (const std::string& choice : flag.choices) {
+              if (!accepted.empty()) accepted += " | ";
+              accepted += choice;
+            }
+            return InvalidArgumentError("flag --" + name + ": \"" + value +
+                                        "\" is not one of " + accepted);
+          }
+        }
         break;
       case Type::kInt: {
         int64_t parsed;
@@ -129,8 +161,17 @@ bool FlagParser::GetBool(const std::string& name) const {
 std::string FlagParser::Help() const {
   std::string out = "Flags:\n";
   for (const auto& [name, flag] : flags_) {
+    std::string detail = flag.help;
+    if (!flag.choices.empty()) {
+      detail += " [";
+      for (size_t i = 0; i < flag.choices.size(); ++i) {
+        if (i > 0) detail += " | ";
+        detail += flag.choices[i];
+      }
+      detail += "]";
+    }
     out += StrFormat("  --%-18s %s (default: %s)\n", name.c_str(),
-                     flag.help.c_str(), flag.default_value.c_str());
+                     detail.c_str(), flag.default_value.c_str());
   }
   return out;
 }

@@ -22,6 +22,11 @@ class FlagParser {
   // Declares a flag with a default value and a help line.
   void AddString(const std::string& name, const std::string& default_value,
                  const std::string& help);
+  // A string flag restricted to `choices`; other values are a Parse error
+  // naming the accepted set. The default must be one of the choices.
+  void AddChoice(const std::string& name, const std::string& default_value,
+                 const std::vector<std::string>& choices,
+                 const std::string& help);
   void AddInt(const std::string& name, int64_t default_value,
               const std::string& help);
   void AddDouble(const std::string& name, double default_value,
@@ -51,6 +56,8 @@ class FlagParser {
     std::string value;  // current value, textual
     std::string default_value;
     std::string help;
+    // Non-empty for AddChoice flags: the accepted values.
+    std::vector<std::string> choices;
   };
 
   const Flag* Find(const std::string& name, Type type) const;

@@ -38,15 +38,23 @@ std::string GroupUtilityReport::DebugString() const {
   return out;
 }
 
+std::vector<double> NormalizeCoverage(const GroupVector& coverage,
+                                      const GroupAssignment& groups) {
+  TCIM_CHECK(static_cast<int>(coverage.size()) == groups.num_groups());
+  std::vector<double> normalized(coverage.size());
+  for (size_t g = 0; g < coverage.size(); ++g) {
+    normalized[g] = coverage[g] / groups.GroupSize(static_cast<GroupId>(g));
+  }
+  return normalized;
+}
+
 GroupUtilityReport MakeGroupUtilityReport(const GroupVector& coverage,
                                           const GroupAssignment& groups) {
   TCIM_CHECK(static_cast<int>(coverage.size()) == groups.num_groups());
   GroupUtilityReport report;
   report.coverage = coverage;
-  report.normalized.resize(coverage.size());
+  report.normalized = NormalizeCoverage(coverage, groups);
   for (size_t g = 0; g < coverage.size(); ++g) {
-    report.normalized[g] =
-        coverage[g] / groups.GroupSize(static_cast<GroupId>(g));
     report.total += coverage[g];
   }
   report.total_fraction = report.total / groups.num_nodes();

@@ -19,6 +19,10 @@ namespace tcim {
 // Eq. 2 over already-normalized per-group utilities.
 double DisparityOfNormalized(const std::vector<double>& normalized);
 
+// Per-group fractions f_τ(S;V_i) / |V_i| of a coverage vector.
+std::vector<double> NormalizeCoverage(const GroupVector& coverage,
+                                      const GroupAssignment& groups);
+
 // Per-group and aggregate utilities of one evaluated seed set.
 struct GroupUtilityReport {
   GroupVector coverage;             // f_τ(S; V_i), expected counts

@@ -14,6 +14,13 @@ const char* DiffusionModelName(DiffusionModel model) {
   return "UNKNOWN";
 }
 
+Result<DiffusionModel> ParseDiffusionModel(const std::string& text) {
+  if (text == "ic" || text == "IC") return DiffusionModel::kIndependentCascade;
+  if (text == "lt" || text == "LT") return DiffusionModel::kLinearThreshold;
+  return InvalidArgumentError("unknown diffusion model \"" + text +
+                              "\"; expected ic or lt");
+}
+
 WorldSampler::WorldSampler(const Graph* graph, DiffusionModel model,
                            uint64_t seed)
     : graph_(graph), model_(model), seed_(seed) {

@@ -18,8 +18,10 @@
 #define TCIM_SIM_LIVE_EDGE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "graph/graph.h"
 
 namespace tcim {
@@ -30,6 +32,10 @@ enum class DiffusionModel {
 };
 
 const char* DiffusionModelName(DiffusionModel model);
+
+// Parses "ic" / "lt" (also accepts the display names "IC" / "LT"); the
+// error message lists the accepted spellings.
+Result<DiffusionModel> ParseDiffusionModel(const std::string& text);
 
 class WorldSampler {
  public:

@@ -1,0 +1,386 @@
+// Facade tests: tcim::Solve() must be a pure re-packaging of the legacy
+// direct-call paths — identical seed sets for P1, P4, P2, P6 and maximin on
+// the synthetic graph — and every invalid spec must come back as a precise
+// Status, never a crash.
+
+#include "api/tcim.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/experiment.h"
+#include "core/maximin.h"
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+class ApiFacadeTest : public ::testing::Test {
+ protected:
+  ApiFacadeTest() : gg_(MakeGraph()) {
+    options_.num_worlds = 60;
+    legacy_.deadline = kDeadline;
+    legacy_.num_worlds = 60;
+  }
+  static GroupedGraph MakeGraph() {
+    Rng rng(7);
+    return datasets::SyntheticDefault(rng);
+  }
+
+  static constexpr int kDeadline = 20;
+
+  GroupedGraph gg_;
+  SolveOptions options_;
+  ExperimentConfig legacy_;  // same worlds/seeds as options_ by default
+};
+
+TEST_F(ApiFacadeTest, BudgetMatchesLegacyPath) {
+  const ExperimentOutcome legacy =
+      RunBudgetExperiment(gg_.graph, gg_.groups, legacy_, /*budget=*/10);
+  const Result<Solution> facade =
+      Solve(gg_.graph, gg_.groups,
+            ProblemSpec::Budget(/*budget=*/10, kDeadline), options_);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_EQ(facade->seeds, legacy.selection.seeds);
+  EXPECT_DOUBLE_EQ(facade->objective_value, legacy.selection.objective_value);
+  ASSERT_TRUE(facade->evaluation.has_value());
+  ASSERT_EQ(facade->evaluation->coverage.size(), legacy.report.coverage.size());
+  for (size_t g = 0; g < legacy.report.coverage.size(); ++g) {
+    EXPECT_NEAR(facade->evaluation->coverage[g], legacy.report.coverage[g],
+                1e-9);
+  }
+  EXPECT_EQ(facade->problem, "budget");
+  EXPECT_EQ(facade->solver, "greedy");
+  EXPECT_EQ(facade->trace.size(), facade->seeds.size());
+}
+
+TEST_F(ApiFacadeTest, FairBudgetMatchesLegacyPath) {
+  const ConcaveFunction h = ConcaveFunction::Log();
+  const ExperimentOutcome legacy =
+      RunBudgetExperiment(gg_.graph, gg_.groups, legacy_, /*budget=*/10, &h);
+  const Result<Solution> facade =
+      Solve(gg_.graph, gg_.groups, ProblemSpec::FairBudget(10, kDeadline),
+            options_);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_EQ(facade->seeds, legacy.selection.seeds);
+}
+
+TEST_F(ApiFacadeTest, CoverMatchesLegacyPath) {
+  const ExperimentOutcome legacy = RunCoverExperiment(
+      gg_.graph, gg_.groups, legacy_, /*quota=*/0.15, /*fair=*/false);
+  const Result<Solution> facade = Solve(
+      gg_.graph, gg_.groups, ProblemSpec::Cover(0.15, kDeadline), options_);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_EQ(facade->seeds, legacy.selection.seeds);
+  EXPECT_EQ(facade->target_reached, legacy.selection.target_reached);
+}
+
+TEST_F(ApiFacadeTest, FairCoverMatchesLegacyPath) {
+  const ExperimentOutcome legacy = RunCoverExperiment(
+      gg_.graph, gg_.groups, legacy_, /*quota=*/0.15, /*fair=*/true);
+  const Result<Solution> facade =
+      Solve(gg_.graph, gg_.groups, ProblemSpec::FairCover(0.15, kDeadline),
+            options_);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_EQ(facade->seeds, legacy.selection.seeds);
+  EXPECT_EQ(facade->target_reached, legacy.selection.target_reached);
+}
+
+TEST_F(ApiFacadeTest, MaximinMatchesLegacyPath) {
+  InfluenceOracle oracle(&gg_.graph, &gg_.groups,
+                         SelectionOracleOptions(legacy_));
+  MaximinOptions maximin;
+  maximin.budget = 5;
+  const MaximinResult legacy = SolveMaximinTcim(oracle, maximin);
+
+  const Result<Solution> facade = Solve(
+      gg_.graph, gg_.groups, ProblemSpec::Maximin(5, kDeadline), options_);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_EQ(facade->seeds, legacy.seeds);
+  EXPECT_DOUBLE_EQ(facade->objective_value, legacy.min_group_utility);
+  EXPECT_EQ(facade->solver, "saturate");
+  EXPECT_EQ(facade->diagnostics.probes, legacy.probes);
+}
+
+TEST_F(ApiFacadeTest, BaselineSolverMatchesDirectHeuristic) {
+  ProblemSpec spec = ProblemSpec::Budget(8, kDeadline);
+  spec.solver = "degree";
+  const Result<Solution> facade = Solve(gg_.graph, gg_.groups, spec, options_);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_EQ(facade->seeds, TopDegreeSeeds(gg_.graph, 8));
+  // With evaluation on (the default) no selection oracle is sampled; the
+  // coverage numbers are backfilled from the evaluation report.
+  ASSERT_TRUE(facade->evaluation.has_value());
+  EXPECT_EQ(facade->coverage, facade->evaluation->coverage);
+  EXPECT_GT(facade->objective_value, 0.0);
+
+  // With evaluation off the baseline replays its seeds through the
+  // selection oracle instead, yielding estimates and a per-seed trace.
+  SolveOptions no_eval = options_;
+  no_eval.evaluate = false;
+  const Result<Solution> estimated =
+      Solve(gg_.graph, gg_.groups, spec, no_eval);
+  ASSERT_TRUE(estimated.ok()) << estimated.status().ToString();
+  EXPECT_EQ(estimated->seeds, facade->seeds);
+  EXPECT_EQ(estimated->trace.size(), 8u);
+  EXPECT_GT(estimated->objective_value, 0.0);
+  EXPECT_FALSE(estimated->evaluation.has_value());
+}
+
+TEST_F(ApiFacadeTest, ArrivalOracleStepWeightMatchesMonteCarloSemantics) {
+  // The arrival backend with a step weight solves the same problem shape;
+  // worlds differ, so just require a sane, evaluated solution.
+  ProblemSpec spec = ProblemSpec::Budget(5, /*deadline=*/10);
+  spec.oracle = "arrival";
+  const Result<Solution> solution =
+      Solve(gg_.graph, gg_.groups, spec, options_);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(solution->seeds.size(), 5u);
+  EXPECT_GT(solution->objective_value, 0.0);
+  EXPECT_EQ(solution->oracle, "arrival");
+  ASSERT_TRUE(solution->evaluation.has_value());
+  EXPECT_GT(solution->evaluation->total, 0.0);
+}
+
+TEST_F(ApiFacadeTest, EvaluateSeedsMatchesLegacyEvaluation) {
+  const std::vector<NodeId> seeds = {0, 5, 17};
+  const GroupUtilityReport legacy =
+      EvaluateSeedSet(gg_.graph, gg_.groups, seeds, legacy_);
+  const Result<GroupUtilityReport> facade = EvaluateSeeds(
+      gg_.graph, gg_.groups, seeds, ProblemSpec::Budget(3, kDeadline),
+      options_);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_DOUBLE_EQ(facade->total, legacy.total);
+  EXPECT_DOUBLE_EQ(facade->disparity, legacy.disparity);
+}
+
+// --- Error paths: every bad input is a Status, never a crash. --------------
+
+TEST_F(ApiFacadeTest, NegativeBudgetIsInvalidArgument) {
+  const Result<Solution> result = Solve(
+      gg_.graph, gg_.groups, ProblemSpec::Budget(-3, kDeadline), options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("-3"), std::string::npos);
+}
+
+TEST_F(ApiFacadeTest, BudgetBeyondPopulationIsInvalidArgument) {
+  const Result<Solution> result =
+      Solve(gg_.graph, gg_.groups,
+            ProblemSpec::Budget(gg_.graph.num_nodes() + 1, kDeadline),
+            options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiFacadeTest, QuotaOutsideUnitIntervalIsInvalidArgument) {
+  for (const double quota : {0.0, -0.5, 1.5}) {
+    const Result<Solution> result = Solve(
+        gg_.graph, gg_.groups, ProblemSpec::Cover(quota, kDeadline), options_);
+    ASSERT_FALSE(result.ok()) << "quota=" << quota;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(ApiFacadeTest, UnknownSolverListsRegisteredNames) {
+  ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+  spec.solver = "simulated_annealing";
+  const Result<Solution> result = Solve(gg_.graph, gg_.groups, spec, options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("simulated_annealing"),
+            std::string::npos);
+  // The message must name what IS available.
+  EXPECT_NE(result.status().message().find("greedy"), std::string::npos);
+  EXPECT_NE(result.status().message().find("saturate"), std::string::npos);
+}
+
+TEST_F(ApiFacadeTest, SolverProblemMismatchIsInvalidArgument) {
+  ProblemSpec spec = ProblemSpec::Maximin(5, kDeadline);
+  spec.solver = "degree";  // baselines cannot do maximin
+  const Result<Solution> result = Solve(gg_.graph, gg_.groups, spec, options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("maximin"), std::string::npos);
+}
+
+TEST_F(ApiFacadeTest, UnknownOracleIsInvalidArgument) {
+  ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+  spec.oracle = "quantum";
+  const Result<Solution> result = Solve(gg_.graph, gg_.groups, spec, options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("montecarlo"), std::string::npos);
+}
+
+TEST_F(ApiFacadeTest, ArrivalOracleNeedsFiniteDeadline) {
+  ProblemSpec spec = ProblemSpec::Budget(5, kNoDeadline);
+  spec.oracle = "arrival";
+  const Result<Solution> result = Solve(gg_.graph, gg_.groups, spec, options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiFacadeTest, WrongWeightArityIsInvalidArgument) {
+  ProblemSpec spec = ProblemSpec::FairBudget(5, kDeadline);
+  spec.group_policy.weights = {1.0, 2.0, 3.0};  // graph has 2 groups
+  const Result<Solution> result = Solve(gg_.graph, gg_.groups, spec, options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("2 groups"), std::string::npos);
+}
+
+TEST_F(ApiFacadeTest, BadSolveOptionsAreInvalidArgument) {
+  SolveOptions bad = options_;
+  bad.num_worlds = 0;
+  EXPECT_FALSE(
+      Solve(gg_.graph, gg_.groups, ProblemSpec::Budget(5, kDeadline), bad)
+          .ok());
+
+  bad = options_;
+  bad.stochastic_epsilon = -0.1;
+  EXPECT_FALSE(
+      Solve(gg_.graph, gg_.groups, ProblemSpec::Budget(5, kDeadline), bad)
+          .ok());
+
+  const std::vector<NodeId> out_of_range = {gg_.graph.num_nodes() + 7};
+  bad = options_;
+  bad.candidates = &out_of_range;
+  const Result<Solution> result =
+      Solve(gg_.graph, gg_.groups, ProblemSpec::Budget(5, kDeadline), bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("outside"), std::string::npos);
+}
+
+TEST_F(ApiFacadeTest, EvaluateSeedsIgnoresSolverOnlyFields) {
+  // A pure audit must not reject because of solver-only spec fields: the
+  // default budget (30) can exceed a tiny audited graph's node count.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0);
+  const Graph tiny = builder.Build();
+  const GroupAssignment tiny_groups = GroupAssignment::SingleGroup(4);
+  ProblemSpec spec;  // defaults: budget=30 > 4 nodes
+  spec.deadline = kDeadline;
+  const Result<GroupUtilityReport> report =
+      EvaluateSeeds(tiny, tiny_groups, {0}, spec, options_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->total, 0.0);
+}
+
+TEST_F(ApiFacadeTest, EvaluateSeedsRejectsOutOfRangeSeeds) {
+  const std::vector<NodeId> seeds = {0, -2};
+  const Result<GroupUtilityReport> result = EvaluateSeeds(
+      gg_.graph, gg_.groups, seeds, ProblemSpec::Budget(2, kDeadline),
+      options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("-2"), std::string::npos);
+}
+
+// --- Registry. --------------------------------------------------------------
+
+TEST(SolverRegistryTest, BuiltinSolversAreRegistered) {
+  const std::vector<std::string> names =
+      SolverRegistry::Global().RegisteredNames();
+  for (const char* expected :
+       {"greedy", "saturate", "degree", "degree_discount", "pagerank",
+        "random", "group_proportional_degree"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing solver: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SolverRegistryTest, DuplicateRegistrationIsAnError) {
+  class DuplicateGreedy : public Solver {
+   public:
+    std::string name() const override { return "greedy"; }
+    std::string description() const override { return "imposter"; }
+    bool Supports(ProblemKind) const override { return true; }
+    Result<Solution> Run(SolverContext&) const override {
+      return InternalError("never runs");
+    }
+  };
+  const Status status =
+      SolverRegistry::Global().Register(std::make_unique<DuplicateGreedy>());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("already registered"), std::string::npos);
+}
+
+TEST(SolverRegistryTest, ListSolversMentionsEverySolverAndProblem) {
+  const std::string listing = SolverRegistry::Global().ListSolvers();
+  EXPECT_NE(listing.find("greedy"), std::string::npos);
+  EXPECT_NE(listing.find("maximin"), std::string::npos);
+  EXPECT_NE(listing.find("fair_cover"), std::string::npos);
+}
+
+TEST(SolverRegistryTest, DefaultSolverNames) {
+  EXPECT_STREQ(DefaultSolverName(ProblemKind::kBudget), "greedy");
+  EXPECT_STREQ(DefaultSolverName(ProblemKind::kFairCover), "greedy");
+  EXPECT_STREQ(DefaultSolverName(ProblemKind::kMaximin), "saturate");
+}
+
+// --- ProblemSpec parsing / CLI bridge. --------------------------------------
+
+TEST(ProblemKindTest, ParseAcceptsNamesAndPaperLabels) {
+  EXPECT_EQ(*ParseProblemKind("budget"), ProblemKind::kBudget);
+  EXPECT_EQ(*ParseProblemKind("p1"), ProblemKind::kBudget);
+  EXPECT_EQ(*ParseProblemKind("fair_budget"), ProblemKind::kFairBudget);
+  EXPECT_EQ(*ParseProblemKind("p4"), ProblemKind::kFairBudget);
+  EXPECT_EQ(*ParseProblemKind("cover"), ProblemKind::kCover);
+  EXPECT_EQ(*ParseProblemKind("p2"), ProblemKind::kCover);
+  EXPECT_EQ(*ParseProblemKind("fair_cover"), ProblemKind::kFairCover);
+  EXPECT_EQ(*ParseProblemKind("p6"), ProblemKind::kFairCover);
+  EXPECT_EQ(*ParseProblemKind("maximin"), ProblemKind::kMaximin);
+  const Result<ProblemKind> bad = ParseProblemKind("p3");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("p3"), std::string::npos);
+}
+
+TEST(SpecFlagsTest, FlagsParseIntoValidatedSpec) {
+  FlagParser flags;
+  AddProblemSpecFlags(flags);
+  const char* argv[] = {"--problem=fair_cover", "--quota=0.3", "--tau=7",
+                        "--oracle=montecarlo"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  const Result<ProblemSpec> spec = ProblemSpecFromFlags(flags);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, ProblemKind::kFairCover);
+  EXPECT_DOUBLE_EQ(spec->quota, 0.3);
+  EXPECT_EQ(spec->deadline, 7);
+}
+
+TEST(SpecFlagsTest, NonPositiveTauMeansNoDeadline) {
+  FlagParser flags;
+  AddProblemSpecFlags(flags);
+  const char* argv[] = {"--tau=0"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  const Result<ProblemSpec> spec = ProblemSpecFromFlags(flags);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->deadline, kNoDeadline);
+}
+
+TEST(SpecFlagsTest, ChoiceFlagRejectsUnknownValueListingChoices) {
+  FlagParser flags;
+  AddProblemSpecFlags(flags);
+  const char* argv[] = {"--problem=p7"};
+  const Status status = flags.Parse(1, argv);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("p7"), std::string::npos);
+  EXPECT_NE(status.message().find("maximin"), std::string::npos);
+}
+
+TEST(SpecFlagsTest, BadPowerAlphaIsInvalidArgument) {
+  FlagParser flags;
+  AddProblemSpecFlags(flags);
+  const char* argv[] = {"--h=power", "--alpha=1.5"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  const Result<ProblemSpec> spec = ProblemSpecFromFlags(flags);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcim
