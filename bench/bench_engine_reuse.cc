@@ -1,0 +1,156 @@
+// Engine reuse bench: what does a long-lived tcim::Engine buy over one-shot
+// tcim::Solve() calls?
+//
+//   (a) same spec, repeated — the serving hot path: a cold Solve() samples
+//       both the selection and evaluation world sets every call; a warm
+//       Engine::Solve() runs on the cached materialized backend. The
+//       acceptance bar is >= 2x.
+//   (b) a workload of 8 specs sharing one backend (same oracle / model /
+//       deadline / worlds) — the amortization story: the Engine samples
+//       once, the one-shot path 8 times.
+//   (c) Engine::SolveBatch over the same 8 specs — wall-clock of the
+//       pool-parallel fan-out, plus a seed-for-seed identity check against
+//       the sequential loop.
+//
+// Overrides: --worlds=N (default 300), --repeats=N (default 5).
+
+#include <cstdio>
+#include <vector>
+
+#include "api/tcim.h"
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/stopwatch.h"
+
+namespace tcim {
+namespace {
+
+// The 8-spec workload: every spec shares the montecarlo/IC/tau=20 backend.
+std::vector<ProblemSpec> Workload() {
+  return {
+      ProblemSpec::Budget(10, /*deadline=*/20),
+      ProblemSpec::Budget(20, 20),
+      ProblemSpec::FairBudget(10, 20),
+      ProblemSpec::FairBudget(10, 20, ConcaveFunction::Sqrt()),
+      ProblemSpec::Cover(0.15, 20),
+      ProblemSpec::FairCover(0.15, 20),
+      ProblemSpec::Maximin(5, 20),
+      ProblemSpec::Budget(5, 20),
+  };
+}
+
+int Run(int argc, char** argv) {
+  bench::PrintBanner("Engine reuse",
+                     "cold one-shot Solve vs warm Engine (cached backends)");
+  const int worlds = bench::IntFlag(argc, argv, "worlds", 300);
+  const int repeats = bench::IntFlag(argc, argv, "repeats", 5);
+
+  Rng rng(42);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  std::printf("graph: %s, worlds=%d, repeats=%d\n\n",
+              gg.graph.DebugString().c_str(), worlds, repeats);
+
+  SolveOptions options;
+  options.num_worlds = worlds;
+
+  CsvWriter csv({"phase", "seconds", "speedup_vs_cold"});
+
+  // --- (a) Same spec, repeated. ---------------------------------------------
+  const ProblemSpec hot_spec = ProblemSpec::Budget(10, 20);
+
+  double cold_seconds = 0.0;
+  std::vector<NodeId> cold_seeds;
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch watch;
+    const Result<Solution> solution = Solve(gg.graph, gg.groups, hot_spec, options);
+    cold_seconds += watch.ElapsedSeconds();
+    cold_seeds = solution->seeds;
+  }
+  cold_seconds /= repeats;
+
+  Engine engine(gg.graph, gg.groups);
+  (void)engine.Solve(hot_spec, options);  // warm the backend cache
+  double warm_seconds = 0.0;
+  std::vector<NodeId> warm_seeds;
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch watch;
+    const Result<Solution> solution = engine.Solve(hot_spec, options);
+    warm_seconds += watch.ElapsedSeconds();
+    warm_seeds = solution->seeds;
+  }
+  warm_seconds /= repeats;
+
+  const double hot_speedup = cold_seconds / warm_seconds;
+  std::printf("(a) same spec        cold Solve() %.4fs   warm Engine %.4fs   "
+              "speedup %.2fx   seeds %s\n",
+              cold_seconds, warm_seconds, hot_speedup,
+              warm_seeds == cold_seeds ? "identical" : "DIFFER");
+  csv.AddRow({"cold_solve", FormatDouble(cold_seconds, 6), "1"});
+  csv.AddRow({"warm_engine_solve", FormatDouble(warm_seconds, 6),
+              FormatDouble(hot_speedup, 3)});
+
+  // --- (b) 8-spec workload sharing one backend. ------------------------------
+  const std::vector<ProblemSpec> workload = Workload();
+
+  Stopwatch cold_workload_watch;
+  std::vector<std::vector<NodeId>> one_shot_seeds;
+  for (const ProblemSpec& spec : workload) {
+    one_shot_seeds.push_back(Solve(gg.graph, gg.groups, spec, options)->seeds);
+  }
+  const double cold_workload = cold_workload_watch.ElapsedSeconds();
+
+  Engine workload_engine(gg.graph, gg.groups);
+  Stopwatch warm_workload_watch;
+  std::vector<std::vector<NodeId>> engine_seeds;
+  for (const ProblemSpec& spec : workload) {
+    engine_seeds.push_back(workload_engine.Solve(spec, options)->seeds);
+  }
+  const double warm_workload = warm_workload_watch.ElapsedSeconds();
+  const double amortized = cold_workload / warm_workload;
+
+  std::printf("(b) 8-spec workload  one-shot loop %.4fs   Engine loop %.4fs  "
+              "amortized speedup %.2fx   seeds %s\n",
+              cold_workload, warm_workload, amortized,
+              engine_seeds == one_shot_seeds ? "identical" : "DIFFER");
+  std::printf("    engine cache: %s\n",
+              workload_engine.cache_stats().DebugString().c_str());
+  csv.AddRow({"one_shot_workload", FormatDouble(cold_workload, 6), "1"});
+  csv.AddRow({"engine_workload", FormatDouble(warm_workload, 6),
+              FormatDouble(amortized, 3)});
+
+  // --- (c) SolveBatch over the same workload. --------------------------------
+  Engine batch_engine(gg.graph, gg.groups);
+  Stopwatch batch_watch;
+  const std::vector<Result<Solution>> batch =
+      batch_engine.SolveBatch(workload, options);
+  const double batch_seconds = batch_watch.ElapsedSeconds();
+
+  bool batch_identical = batch.size() == engine_seeds.size();
+  for (size_t i = 0; batch_identical && i < batch.size(); ++i) {
+    batch_identical = batch[i].ok() && batch[i]->seeds == engine_seeds[i];
+  }
+  std::printf("(c) SolveBatch       %.4fs (vs %.4fs sequential engine)  "
+              "%.2fx   seeds %s\n",
+              batch_seconds, warm_workload, warm_workload / batch_seconds,
+              batch_identical ? "identical" : "DIFFER");
+  csv.AddRow({"engine_batch", FormatDouble(batch_seconds, 6),
+              FormatDouble(cold_workload / batch_seconds, 3)});
+
+  bench::WriteCsv(csv, "engine_reuse.csv");
+
+  if (!(hot_speedup >= 2.0)) {
+    std::printf("\nWARNING: warm/cold speedup %.2fx below the 2x bar\n",
+                hot_speedup);
+  }
+  if (!batch_identical || engine_seeds != one_shot_seeds ||
+      warm_seeds != cold_seeds) {
+    std::printf("\nERROR: seed mismatch between paths\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcim
+
+int main(int argc, char** argv) { return tcim::Run(argc, argv); }

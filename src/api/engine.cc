@@ -1,0 +1,393 @@
+#include "api/engine.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "api/solver_registry.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "sim/arrival_oracle.h"
+#include "sim/influence_oracle.h"
+#include "sim/temporal.h"
+
+namespace tcim {
+namespace {
+
+// The backend identity: specs agreeing on every field here can share one
+// sampled world set. The arrival backend additionally samples per-edge
+// transmission delays, so its delay distribution joins the key (the delay
+// seed is derived from `seed`, which is already included). The deadline is
+// part of the key for both backends — for montecarlo that is slightly
+// conservative (its liveness coins are deadline-independent), but it keeps
+// one key scheme across backends and makes a cache entry self-describing.
+std::string BackendKey(const ProblemSpec& spec, int num_worlds,
+                       uint64_t seed) {
+  std::string key = StrFormat(
+      "%s|%s|tau=%d|R=%d|seed=%llu", spec.oracle.c_str(),
+      DiffusionModelName(spec.model), spec.deadline, num_worlds,
+      static_cast<unsigned long long>(seed));
+  if (spec.oracle == "arrival" && spec.meeting_probability < 1.0) {
+    // Exact bit pattern, not a decimal rendering: two specs whose meeting
+    // probabilities differ only past the printed precision must NOT share
+    // a key (the oracle's compatibility check compares the raw doubles).
+    uint64_t bits = 0;
+    std::memcpy(&bits, &spec.meeting_probability, sizeof(bits));
+    key += StrFormat("|m=%llx", static_cast<unsigned long long>(bits));
+  }
+  return key;
+}
+
+Status ValidateSeedSet(const Graph& graph, const std::vector<NodeId>& seeds) {
+  for (const NodeId seed : seeds) {
+    if (seed < 0 || seed >= graph.num_nodes()) {
+      return InvalidArgumentError(
+          StrFormat("seed node %d is outside the graph's %d nodes", seed,
+                    graph.num_nodes()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string CacheStats::DebugString() const {
+  return StrFormat(
+      "hits=%lld misses=%lld constructions=%lld evictions=%lld "
+      "invalidations=%lld entries=%zu ensemble_bytes=%zu",
+      static_cast<long long>(hits), static_cast<long long>(misses),
+      static_cast<long long>(constructions), static_cast<long long>(evictions),
+      static_cast<long long>(invalidations), entries, ensemble_bytes);
+}
+
+Engine::Engine(const Graph& graph, const GroupAssignment& groups,
+               const EngineOptions& options)
+    : graph_(graph), groups_(groups), options_(options) {
+  TCIM_CHECK(options_.max_cached_backends >= 1)
+      << "max_cached_backends must be >= 1";
+  TCIM_CHECK(options_.num_threads >= 0) << "num_threads must be >= 0";
+  if (options_.pool == nullptr && options_.num_threads > 0) {
+    owned_pool_ =
+        std::make_unique<ThreadPool>(static_cast<size_t>(options_.num_threads));
+  }
+}
+
+Engine::~Engine() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+ThreadPool& Engine::PoolFor(const SolveOptions& options) const {
+  if (options.pool != nullptr) return *options.pool;
+  if (options_.pool != nullptr) return *options_.pool;
+  if (owned_pool_ != nullptr) return *owned_pool_;
+  return ThreadPool::Default();
+}
+
+Engine::ResolvedPool Engine::ResolvePool(const SolveOptions& options) const {
+  ResolvedPool resolved;
+  if (options.pool == nullptr && options.num_threads > 0) {
+    resolved.dedicated =
+        std::make_unique<ThreadPool>(static_cast<size_t>(options.num_threads));
+    resolved.pool = resolved.dedicated.get();
+  } else {
+    resolved.pool = &PoolFor(options);
+  }
+  return resolved;
+}
+
+std::shared_ptr<const WorldEnsemble> Engine::AcquireEnsemble(
+    const ProblemSpec& spec, int num_worlds, uint64_t seed,
+    ThreadPool& build_pool) {
+  const std::string key = BackendKey(spec, num_worlds, seed);
+  std::promise<std::shared_ptr<const WorldEnsemble>> promise;
+  std::shared_future<std::shared_ptr<const WorldEnsemble>> ready;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      ready = it->second.backend.ensemble;
+    } else {
+      ++stats_.misses;
+      builder = true;
+      ready = promise.get_future().share();
+      lru_.push_front(key);
+      cache_.emplace(key, CacheEntry{lru_.begin(), Backend{ready}});
+      while (cache_.size() >
+             static_cast<size_t>(options_.max_cached_backends)) {
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+  }
+  if (!builder) {
+    // Either already materialized or being built by another thread; the
+    // shared_future makes every concurrent requester of one key wait on a
+    // single construction instead of sampling duplicate world sets.
+    return ready.get();
+  }
+
+  std::shared_ptr<const WorldEnsemble> built;
+  if (WorldEnsemble::EstimateBytes(graph_, spec.model, num_worlds) <=
+      options_.max_ensemble_bytes) {
+    WorldEnsembleOptions ensemble_options;
+    ensemble_options.num_worlds = num_worlds;
+    ensemble_options.model = spec.model;
+    ensemble_options.seed = seed;
+    ensemble_options.pool = &build_pool;
+    if (spec.oracle == "arrival") {
+      ensemble_options.delays =
+          spec.meeting_probability >= 1.0
+              ? DelaySampler::Unit()
+              : DelaySampler::Geometric(spec.meeting_probability,
+                                        seed ^ 0xd31a5ull);
+      // Exact for any horizon-bounded traversal of this backend: delays
+      // beyond deadline + 1 are indistinguishable from it.
+      ensemble_options.delay_cap = spec.deadline + 1;
+    }
+    built = std::make_shared<const WorldEnsemble>(&graph_, ensemble_options);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++stats_.constructions;
+  }
+  promise.set_value(built);
+  return built;
+}
+
+std::unique_ptr<GroupCoverageOracle> Engine::MakeOracle(
+    const ProblemSpec& spec, const SolveOptions& options, bool evaluation,
+    ThreadPool& pool) {
+  const int num_worlds =
+      evaluation && options.eval_num_worlds > 0 ? options.eval_num_worlds
+                                                : options.num_worlds;
+  const uint64_t seed =
+      evaluation ? options.evaluation_seed : options.selection_seed;
+  std::shared_ptr<const WorldEnsemble> worlds =
+      AcquireEnsemble(spec, num_worlds, seed, pool);
+  if (spec.oracle == "arrival") {
+    TemporalWeight weight = TemporalWeight::Step(spec.deadline);
+    if (spec.temporal_weight == "exponential") {
+      weight =
+          TemporalWeight::ExponentialDiscount(spec.discount_gamma, spec.deadline);
+    } else if (spec.temporal_weight == "linear") {
+      weight = TemporalWeight::LinearDecay(spec.deadline);
+    }
+    DelaySampler delays =
+        spec.meeting_probability >= 1.0
+            ? DelaySampler::Unit()
+            : DelaySampler::Geometric(spec.meeting_probability, seed ^ 0xd31a5ull);
+    ArrivalOracleOptions oracle_options;
+    oracle_options.num_worlds = num_worlds;
+    oracle_options.model = spec.model;
+    oracle_options.seed = seed;
+    oracle_options.pool = &pool;
+    oracle_options.worlds = std::move(worlds);
+    return std::make_unique<ArrivalOracle>(&graph_, &groups_, std::move(weight),
+                                           std::move(delays), oracle_options);
+  }
+  OracleOptions oracle_options;
+  oracle_options.num_worlds = num_worlds;
+  oracle_options.deadline = spec.deadline;
+  oracle_options.model = spec.model;
+  oracle_options.seed = seed;
+  oracle_options.pool = &pool;
+  oracle_options.worlds = std::move(worlds);
+  return std::make_unique<InfluenceOracle>(&graph_, &groups_, oracle_options);
+}
+
+GroupVector Engine::EvaluationCoverage(const std::vector<NodeId>& seeds,
+                                       const ProblemSpec& spec,
+                                       const SolveOptions& options,
+                                       ThreadPool& pool) {
+  std::unique_ptr<GroupCoverageOracle> oracle =
+      MakeOracle(spec, options, /*evaluation=*/true, pool);
+  if (auto* influence = dynamic_cast<InfluenceOracle*>(oracle.get())) {
+    // Cheaper one-shot path; identical to committing seed by seed.
+    return influence->EstimateGroupCoverage(seeds);
+  }
+  for (const NodeId seed : seeds) oracle->AddSeed(seed);
+  return oracle->group_coverage();
+}
+
+Result<Solution> Engine::SolveImpl(const ProblemSpec& spec,
+                                   const SolveOptions& options,
+                                   ThreadPool& pool) {
+  TCIM_RETURN_IF_ERROR(spec.ValidateFor(graph_, groups_));
+  TCIM_RETURN_IF_ERROR(options.Validate(graph_));
+
+  const std::string solver_name =
+      spec.solver.empty() ? DefaultSolverName(spec.kind) : spec.solver;
+  const SolverRegistry& registry = SolverRegistry::Global();
+  const Solver* solver = registry.Find(solver_name);
+  if (solver == nullptr) {
+    std::string names;
+    for (const std::string& name : registry.RegisteredNames()) {
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+    return NotFoundError("unknown solver \"" + solver_name +
+                         "\"; registered solvers: " + names);
+  }
+  if (!solver->Supports(spec.kind)) {
+    return InvalidArgumentError(
+        StrFormat("solver \"%s\" does not support problem \"%s\"",
+                  solver_name.c_str(), ProblemKindName(spec.kind)));
+  }
+
+  SolverContext context(graph_, groups_, spec, options,
+                        [this, &spec, &options, &pool] {
+                          return MakeOracle(spec, options,
+                                            /*evaluation=*/false, pool);
+                        });
+  Stopwatch select_watch;
+  Result<Solution> result = solver->Run(context);
+  if (!result.ok()) return result;
+
+  Solution solution = std::move(result).value();
+  solution.selection_seconds = select_watch.ElapsedSeconds();
+  solution.problem = ProblemKindName(spec.kind);
+  solution.solver = solver_name;
+  solution.oracle = spec.oracle;
+  solution.diagnostics.num_worlds = options.num_worlds;
+  solution.diagnostics.eval_num_worlds =
+      options.eval_num_worlds > 0 ? options.eval_num_worlds : options.num_worlds;
+
+  if (options.evaluate) {
+    Stopwatch eval_watch;
+    solution.evaluation = MakeGroupUtilityReport(
+        EvaluationCoverage(solution.seeds, spec, options, pool), groups_);
+    solution.evaluation_seconds = eval_watch.ElapsedSeconds();
+    if (solution.coverage.empty()) {
+      // Oracle-free solvers (the baselines) skip the selection-worlds
+      // estimate when an evaluation runs anyway; surface its numbers,
+      // with objective_value under the spec's own objective so it stays
+      // comparable to other solvers run on the same spec.
+      solution.coverage = solution.evaluation->coverage;
+      solution.normalized = solution.evaluation->normalized;
+      solution.objective_value =
+          internal::BudgetObjectiveValue(spec, groups_, solution.coverage);
+    }
+  }
+  return solution;
+}
+
+Result<GroupUtilityReport> Engine::EvaluateSeedsImpl(
+    const std::vector<NodeId>& seeds, const ProblemSpec& spec,
+    const SolveOptions& options, ThreadPool& pool) {
+  // Only the evaluation-relevant spec fields are validated: a pure audit
+  // must not reject because of solver-only fields like budget or quota.
+  TCIM_RETURN_IF_ERROR(spec.ValidateForEvaluation(graph_, groups_));
+  TCIM_RETURN_IF_ERROR(options.Validate(graph_));
+  TCIM_RETURN_IF_ERROR(ValidateSeedSet(graph_, seeds));
+  return MakeGroupUtilityReport(EvaluationCoverage(seeds, spec, options, pool),
+                                groups_);
+}
+
+Result<Solution> Engine::Solve(const ProblemSpec& spec,
+                               const SolveOptions& options) {
+  const ResolvedPool resolved = ResolvePool(options);
+  return SolveImpl(spec, options, *resolved.pool);
+}
+
+Result<GroupUtilityReport> Engine::EvaluateSeeds(
+    const std::vector<NodeId>& seeds, const ProblemSpec& spec,
+    const SolveOptions& options) {
+  const ResolvedPool resolved = ResolvePool(options);
+  return EvaluateSeedsImpl(seeds, spec, options, *resolved.pool);
+}
+
+std::vector<Result<Solution>> Engine::SolveBatch(
+    std::span<const ProblemSpec> specs, const SolveOptions& options) {
+  std::vector<Result<Solution>> results;
+  results.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    results.emplace_back(InternalError("SolveBatch task did not run"));
+  }
+  if (specs.empty()) return results;
+
+  const Status options_status = options.Validate(graph_);
+  if (!options_status.ok()) {
+    for (auto& result : results) result = options_status;
+    return results;
+  }
+
+  // Parallelism moves from worlds to specs: the fan-out runs on a worker
+  // pool while each solve queries its oracle serially (running every
+  // solve's world-level ParallelFor on the same pool would deadlock once
+  // all workers wait on shards nobody is free to run).
+  SolveOptions per_solve = options;
+  per_solve.pool = nullptr;
+  per_solve.num_threads = 0;
+  const auto run = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = SolveImpl(specs[i], per_solve, ThreadPool::Inline());
+    }
+  };
+  const ResolvedPool resolved = ResolvePool(options);
+  resolved.pool->ParallelFor(specs.size(), run);
+  return results;
+}
+
+std::future<Result<Solution>> Engine::SubmitSolve(const ProblemSpec& spec,
+                                                  const SolveOptions& options) {
+  if (const Status status = options.Validate(graph_); !status.ok()) {
+    std::promise<Result<Solution>> rejected;
+    rejected.set_value(status);
+    return rejected.get_future();
+  }
+  SolveOptions per_solve = options;
+  per_solve.pool = nullptr;
+  const int num_threads = std::exchange(per_solve.num_threads, 0);
+  auto task = std::make_shared<std::packaged_task<Result<Solution>()>>(
+      [this, spec, per_solve, num_threads] {
+        // Runs ON a pool worker, so the oracle must not re-enter the same
+        // pool (deadlock); by default it runs serially. An explicit
+        // num_threads is honored with a dedicated (distinct) pool.
+        if (num_threads > 0) {
+          ThreadPool dedicated(static_cast<size_t>(num_threads));
+          return SolveImpl(spec, per_solve, dedicated);
+        }
+        return SolveImpl(spec, per_solve, ThreadPool::Inline());
+      });
+  std::future<Result<Solution>> future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  PoolFor(options).Schedule([this, task] {
+    (*task)();
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    --pending_;
+    pending_cv_.notify_all();
+  });
+  return future;
+}
+
+CacheStats Engine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheStats stats = stats_;
+  stats.entries = cache_.size();
+  stats.ensemble_bytes = 0;
+  for (const auto& [key, entry] : cache_) {
+    const auto& pending = entry.backend.ensemble;
+    if (pending.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      if (const std::shared_ptr<const WorldEnsemble>& ensemble = pending.get()) {
+        stats.ensemble_bytes += ensemble->ApproxBytes();
+      }
+    }
+  }
+  return stats;
+}
+
+void Engine::Invalidate() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++stats_.invalidations;
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace tcim

@@ -1,0 +1,214 @@
+// tcim::Engine — a reusable solve session over one (graph, groups).
+//
+// tcim::Solve() is a one-shot: every call samples its oracle backend's
+// Monte-Carlo worlds from scratch, which dominates the cost of repeated
+// queries over the same network. An Engine is constructed once and answers
+// many queries, keeping an LRU cache of materialized oracle backends
+// (sim/world_ensemble.h) keyed by
+//
+//   (oracle kind, diffusion model, deadline, num_worlds, sampler seed
+//    [, delay distribution for the arrival backend])
+//
+// so every spec sharing a backend — repeated Solves, SolveBatch siblings,
+// EvaluateSeeds audits — pays world sampling once. Backends are immutable;
+// each solve queries them through its own freshly-allocated oracle cursor,
+// so concurrent solves never race and cached state is never mutated.
+// Results are bit-identical to the one-shot path: the free functions
+// tcim::Solve / tcim::EvaluateSeeds are now thin wrappers that construct a
+// throwaway Engine.
+//
+//   tcim::Engine engine(graph, groups);
+//   auto a = engine.Solve(spec);                  // cold: samples worlds
+//   auto b = engine.Solve(spec);                  // warm: cache hit
+//   auto batch = engine.SolveBatch(specs);        // parallel over specs
+//   auto pending = engine.SubmitSolve(spec);      // async, returns a future
+//   engine.cache_stats();                         // hits / misses / bytes
+//
+// Thread safety: Solve, EvaluateSeeds, SolveBatch, SubmitSolve,
+// cache_stats and Invalidate may all be called concurrently from any
+// thread. SolveBatch fans out over specs on a worker pool and runs each
+// solve's oracle serially (parallelism moves from worlds to solves);
+// SubmitSolve schedules the same way and returns immediately.
+
+#ifndef TCIM_API_ENGINE_H_
+#define TCIM_API_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/problem_spec.h"
+#include "api/solution.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/fairness.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+#include "sim/oracle_interface.h"
+#include "sim/world_ensemble.h"
+
+namespace tcim {
+
+struct EngineOptions {
+  // Distinct oracle backends kept warm; least-recently-used beyond this
+  // are dropped. Must be >= 1.
+  int max_cached_backends = 8;
+
+  // Backends whose estimated materialized footprint exceeds this fall back
+  // to hash-on-the-fly world sampling (still correct, still cached as an
+  // entry so the decision is made once).
+  size_t max_ensemble_bytes = size_t{512} << 20;  // 512 MiB
+
+  // Engine-owned worker pool size for oracle queries and batch fan-out;
+  // 0 shares ThreadPool::Default(). Must be >= 0.
+  int num_threads = 0;
+
+  // External pool override (wins over num_threads); must outlive the
+  // Engine.
+  ThreadPool* pool = nullptr;
+};
+
+// Observability snapshot of the backend cache.
+struct CacheStats {
+  int64_t hits = 0;        // backend requests served from cache
+  int64_t misses = 0;      // backend requests that had to build
+  int64_t constructions = 0;  // ensembles actually materialized (== misses
+                              // unless max_ensemble_bytes forced fallbacks)
+  int64_t evictions = 0;   // LRU drops
+  int64_t invalidations = 0;  // Invalidate() calls
+  size_t entries = 0;      // backends currently cached
+  size_t ensemble_bytes = 0;  // bytes held by cached ensembles
+
+  // "hits=9 misses=2 ... bytes=1.5MiB" one-liner for logs.
+  std::string DebugString() const;
+};
+
+class Engine {
+ public:
+  // Keeps references to `graph` and `groups`; both must outlive the
+  // Engine. Construction is cheap — no worlds are sampled until a solve
+  // asks for them.
+  Engine(const Graph& graph, const GroupAssignment& groups,
+         const EngineOptions& options = EngineOptions());
+  // Blocks until every SubmitSolve future has been fulfilled.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  const GroupAssignment& groups() const { return groups_; }
+  const EngineOptions& options() const { return options_; }
+
+  // Solves `spec`, reusing any cached backend. Identical results to
+  // tcim::Solve (seed-for-seed); errors are precise Statuses, never
+  // crashes.
+  Result<Solution> Solve(const ProblemSpec& spec,
+                         const SolveOptions& options = SolveOptions());
+
+  // Evaluates an externally chosen seed set on the spec's *evaluation*
+  // worlds — the audit path — through the same backend cache, so repeated
+  // audits of one spec sample worlds once.
+  Result<GroupUtilityReport> EvaluateSeeds(
+      const std::vector<NodeId>& seeds, const ProblemSpec& spec,
+      const SolveOptions& options = SolveOptions());
+
+  // Solves every spec, fanned out over the engine's worker pool (or a
+  // dedicated pool of options.num_threads). results[i] corresponds to
+  // specs[i] and is seed-for-seed identical to a sequential Solve(specs[i]).
+  std::vector<Result<Solution>> SolveBatch(
+      std::span<const ProblemSpec> specs,
+      const SolveOptions& options = SolveOptions());
+
+  // Schedules an asynchronous Solve and returns immediately. The future is
+  // fulfilled on a worker thread; safe to call concurrently with everything
+  // else. `options.candidates` (if set) must stay alive until the future
+  // resolves.
+  std::future<Result<Solution>> SubmitSolve(
+      const ProblemSpec& spec, const SolveOptions& options = SolveOptions());
+
+  // Snapshot of cache counters (thread-safe).
+  CacheStats cache_stats() const;
+
+  // Drops every cached backend; the next solve per key rebuilds. Counters
+  // other than `invalidations` are preserved.
+  void Invalidate();
+
+ private:
+  // One cached backend: the (possibly absent, when over the bytes cap)
+  // materialized world ensemble, published through a shared_future so
+  // concurrent requesters of the same key build once and wait.
+  struct Backend {
+    std::shared_future<std::shared_ptr<const WorldEnsemble>> ensemble;
+  };
+  struct CacheEntry {
+    std::list<std::string>::iterator lru_position;
+    Backend backend;
+  };
+
+  // The worker pool for a top-level call: options.pool, else the engine's.
+  ThreadPool& PoolFor(const SolveOptions& options) const;
+
+  // PoolFor plus the --threads rule: num_threads > 0 (with no explicit
+  // pool) gets a dedicated pool owned for the duration of the call.
+  struct ResolvedPool {
+    std::unique_ptr<ThreadPool> dedicated;  // set iff num_threads kicked in
+    ThreadPool* pool = nullptr;             // never null
+  };
+  ResolvedPool ResolvePool(const SolveOptions& options) const;
+
+  // Cache lookup/build of the backend for (spec, worlds, seed); `build_pool`
+  // runs the materialization. Returns nullptr when materialization was
+  // skipped (bytes cap) — oracles then hash worlds on the fly.
+  std::shared_ptr<const WorldEnsemble> AcquireEnsemble(
+      const ProblemSpec& spec, int num_worlds, uint64_t seed,
+      ThreadPool& build_pool);
+
+  // Builds the selection- (evaluation=false) or evaluation-time oracle for
+  // a validated spec, on a cached backend.
+  std::unique_ptr<GroupCoverageOracle> MakeOracle(const ProblemSpec& spec,
+                                                  const SolveOptions& options,
+                                                  bool evaluation,
+                                                  ThreadPool& pool);
+
+  // Coverage of `seeds` on the evaluation worlds of the spec's backend.
+  GroupVector EvaluationCoverage(const std::vector<NodeId>& seeds,
+                                 const ProblemSpec& spec,
+                                 const SolveOptions& options,
+                                 ThreadPool& pool);
+
+  // Full solve with an explicit query pool (callers resolve --threads /
+  // batch-context rules before this point).
+  Result<Solution> SolveImpl(const ProblemSpec& spec,
+                             const SolveOptions& options, ThreadPool& pool);
+  Result<GroupUtilityReport> EvaluateSeedsImpl(const std::vector<NodeId>& seeds,
+                                               const ProblemSpec& spec,
+                                               const SolveOptions& options,
+                                               ThreadPool& pool);
+
+  const Graph& graph_;
+  const GroupAssignment& groups_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // when options_.num_threads > 0
+
+  mutable std::mutex cache_mutex_;
+  std::list<std::string> lru_;  // most recently used first
+  std::map<std::string, CacheEntry> cache_;
+  CacheStats stats_;
+
+  // In-flight SubmitSolve tasks; the destructor waits for them.
+  mutable std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  int pending_ = 0;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_API_ENGINE_H_

@@ -221,6 +221,11 @@ Status SolveOptions::Validate(const Graph& graph) const {
     return InvalidArgumentError(
         StrFormat("max_seeds must be positive, got %d", max_seeds));
   }
+  if (num_threads < 0) {
+    return InvalidArgumentError(StrFormat(
+        "num_threads must be >= 0 (0 = the default worker pool), got %d",
+        num_threads));
+  }
   if (candidates != nullptr) {
     if (candidates->empty()) {
       return InvalidArgumentError("candidates must be null or non-empty");

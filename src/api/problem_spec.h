@@ -144,7 +144,14 @@ struct SolveOptions {
   // RNG seed for randomized baseline solvers (e.g. "random").
   uint64_t baseline_seed = 0xba5e11ull;
 
-  // Worker pool; nullptr uses ThreadPool::Default().
+  // Worker threads for oracle queries (Engine::Solve) and for the
+  // solve-level fan-out (Engine::SolveBatch): 0 uses the engine's pool (or
+  // the process default); > 0 runs this call on a dedicated pool of that
+  // size. Negative values are an InvalidArgument. Ignored when `pool` is
+  // set. CLI binaries expose this as --threads.
+  int num_threads = 0;
+
+  // Worker pool; nullptr derives one from num_threads as described above.
   ThreadPool* pool = nullptr;
 
   Status Validate(const Graph& graph) const;

@@ -1,147 +1,18 @@
 #include "api/solve.h"
 
-#include <memory>
-#include <utility>
-
-#include "api/solver_registry.h"
-#include "common/stopwatch.h"
-#include "common/string_util.h"
-#include "sim/arrival_oracle.h"
-#include "sim/influence_oracle.h"
-#include "sim/temporal.h"
+#include "api/engine.h"
 
 namespace tcim {
-namespace {
 
-// Builds the selection- or evaluation-time oracle named by spec.oracle.
-// Callers have already run spec.Validate(), so the names and parameter
-// ranges here are trusted.
-std::unique_ptr<GroupCoverageOracle> MakeOracle(
-    const Graph& graph, const GroupAssignment& groups, const ProblemSpec& spec,
-    const SolveOptions& options, bool evaluation) {
-  const int num_worlds =
-      evaluation && options.eval_num_worlds > 0 ? options.eval_num_worlds
-                                                : options.num_worlds;
-  const uint64_t seed =
-      evaluation ? options.evaluation_seed : options.selection_seed;
-  if (spec.oracle == "arrival") {
-    TemporalWeight weight = TemporalWeight::Step(spec.deadline);
-    if (spec.temporal_weight == "exponential") {
-      weight =
-          TemporalWeight::ExponentialDiscount(spec.discount_gamma, spec.deadline);
-    } else if (spec.temporal_weight == "linear") {
-      weight = TemporalWeight::LinearDecay(spec.deadline);
-    }
-    DelaySampler delays =
-        spec.meeting_probability >= 1.0
-            ? DelaySampler::Unit()
-            : DelaySampler::Geometric(spec.meeting_probability, seed ^ 0xd31a5ull);
-    ArrivalOracleOptions oracle_options;
-    oracle_options.num_worlds = num_worlds;
-    oracle_options.model = spec.model;
-    oracle_options.seed = seed;
-    oracle_options.pool = options.pool;
-    return std::make_unique<ArrivalOracle>(&graph, &groups, std::move(weight),
-                                           std::move(delays), oracle_options);
-  }
-  OracleOptions oracle_options;
-  oracle_options.num_worlds = num_worlds;
-  oracle_options.deadline = spec.deadline;
-  oracle_options.model = spec.model;
-  oracle_options.seed = seed;
-  oracle_options.pool = options.pool;
-  return std::make_unique<InfluenceOracle>(&graph, &groups, oracle_options);
-}
-
-Status ValidateSeedSet(const Graph& graph, const std::vector<NodeId>& seeds) {
-  for (const NodeId seed : seeds) {
-    if (seed < 0 || seed >= graph.num_nodes()) {
-      return InvalidArgumentError(StrFormat(
-          "seed node %d is outside the graph's %d nodes", seed,
-          graph.num_nodes()));
-    }
-  }
-  return Status::Ok();
-}
-
-// Coverage of `seeds` on the evaluation worlds of the spec's backend.
-GroupVector EvaluationCoverage(const Graph& graph,
-                               const GroupAssignment& groups,
-                               const std::vector<NodeId>& seeds,
-                               const ProblemSpec& spec,
-                               const SolveOptions& options) {
-  std::unique_ptr<GroupCoverageOracle> oracle =
-      MakeOracle(graph, groups, spec, options, /*evaluation=*/true);
-  if (auto* influence = dynamic_cast<InfluenceOracle*>(oracle.get())) {
-    // Cheaper one-shot path; identical to committing seed by seed.
-    return influence->EstimateGroupCoverage(seeds);
-  }
-  for (const NodeId seed : seeds) oracle->AddSeed(seed);
-  return oracle->group_coverage();
-}
-
-}  // namespace
+// The one-shot entry points are thin wrappers over a throwaway Engine
+// (api/engine.h): one call, one session, identical results. Long-lived
+// callers answering repeated queries over the same graph should hold an
+// Engine instead and let its backend cache amortize world sampling.
 
 Result<Solution> Solve(const Graph& graph, const GroupAssignment& groups,
                        const ProblemSpec& spec, const SolveOptions& options) {
-  TCIM_RETURN_IF_ERROR(spec.ValidateFor(graph, groups));
-  TCIM_RETURN_IF_ERROR(options.Validate(graph));
-
-  const std::string solver_name =
-      spec.solver.empty() ? DefaultSolverName(spec.kind) : spec.solver;
-  const SolverRegistry& registry = SolverRegistry::Global();
-  const Solver* solver = registry.Find(solver_name);
-  if (solver == nullptr) {
-    std::string names;
-    for (const std::string& name : registry.RegisteredNames()) {
-      if (!names.empty()) names += ", ";
-      names += name;
-    }
-    return NotFoundError("unknown solver \"" + solver_name +
-                         "\"; registered solvers: " + names);
-  }
-  if (!solver->Supports(spec.kind)) {
-    return InvalidArgumentError(
-        StrFormat("solver \"%s\" does not support problem \"%s\"",
-                  solver_name.c_str(), ProblemKindName(spec.kind)));
-  }
-
-  SolverContext context(graph, groups, spec, options,
-                        [&graph, &groups, &spec, &options] {
-                          return MakeOracle(graph, groups, spec, options,
-                                            /*evaluation=*/false);
-                        });
-  Stopwatch select_watch;
-  Result<Solution> result = solver->Run(context);
-  if (!result.ok()) return result;
-
-  Solution solution = std::move(result).value();
-  solution.selection_seconds = select_watch.ElapsedSeconds();
-  solution.problem = ProblemKindName(spec.kind);
-  solution.solver = solver_name;
-  solution.oracle = spec.oracle;
-  solution.diagnostics.num_worlds = options.num_worlds;
-  solution.diagnostics.eval_num_worlds =
-      options.eval_num_worlds > 0 ? options.eval_num_worlds : options.num_worlds;
-
-  if (options.evaluate) {
-    Stopwatch eval_watch;
-    solution.evaluation = MakeGroupUtilityReport(
-        EvaluationCoverage(graph, groups, solution.seeds, spec, options),
-        groups);
-    solution.evaluation_seconds = eval_watch.ElapsedSeconds();
-    if (solution.coverage.empty()) {
-      // Oracle-free solvers (the baselines) skip the selection-worlds
-      // estimate when an evaluation runs anyway; surface its numbers,
-      // with objective_value under the spec's own objective so it stays
-      // comparable to other solvers run on the same spec.
-      solution.coverage = solution.evaluation->coverage;
-      solution.normalized = solution.evaluation->normalized;
-      solution.objective_value = internal::BudgetObjectiveValue(
-          spec, groups, solution.coverage);
-    }
-  }
-  return solution;
+  Engine engine(graph, groups);
+  return engine.Solve(spec, options);
 }
 
 Result<GroupUtilityReport> EvaluateSeeds(const Graph& graph,
@@ -149,13 +20,13 @@ Result<GroupUtilityReport> EvaluateSeeds(const Graph& graph,
                                          const std::vector<NodeId>& seeds,
                                          const ProblemSpec& spec,
                                          const SolveOptions& options) {
-  // Only the evaluation-relevant spec fields are validated: a pure audit
-  // must not reject because of solver-only fields like budget or quota.
-  TCIM_RETURN_IF_ERROR(spec.ValidateForEvaluation(graph, groups));
-  TCIM_RETURN_IF_ERROR(options.Validate(graph));
-  TCIM_RETURN_IF_ERROR(ValidateSeedSet(graph, seeds));
-  return MakeGroupUtilityReport(
-      EvaluationCoverage(graph, groups, seeds, spec, options), groups);
+  // A one-shot audit traverses its worlds exactly once, so materializing
+  // them first can't amortize; a zero byte budget keeps the classic
+  // hash-on-the-fly worlds (identical numbers either way).
+  EngineOptions engine_options;
+  engine_options.max_ensemble_bytes = 0;
+  Engine engine(graph, groups, engine_options);
+  return engine.EvaluateSeeds(seeds, spec, options);
 }
 
 }  // namespace tcim

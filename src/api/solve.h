@@ -9,6 +9,11 @@
 // user input), resolves the solver in the SolverRegistry, builds the
 // requested oracle backend, runs selection, and — unless disabled — re-
 // estimates the chosen seeds on an independent world set (§6.1 protocol).
+//
+// Both functions are one-shots: each call constructs a throwaway
+// tcim::Engine, so the oracle backend is sampled from scratch every time.
+// Services answering many queries over one graph should hold a long-lived
+// Engine (api/engine.h) and let its backend cache amortize that cost.
 
 #ifndef TCIM_API_SOLVE_H_
 #define TCIM_API_SOLVE_H_

@@ -15,12 +15,14 @@
 //   // solution->evaluation holds the independent fresh-world report.
 //
 // Everything a client needs — ProblemSpec, Solve(), Solution, the
+// serving-oriented Engine (cached backends, batched and async solves), the
 // SolverRegistry (for custom solvers), the CLI flag bridge, datasets, and
 // graph/group IO — is reachable from this one include; link `tcim_api`.
 
 #ifndef TCIM_API_TCIM_H_
 #define TCIM_API_TCIM_H_
 
+#include "api/engine.h"
 #include "api/problem_spec.h"
 #include "api/solution.h"
 #include "api/solve.h"

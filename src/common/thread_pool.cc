@@ -45,6 +45,11 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Schedule(std::function<void()> task) {
+  if (workers_.empty()) {
+    // The inline pool has nobody to hand work to; run it here and now.
+    task();
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     TCIM_CHECK(!shutdown_) << "Schedule() after shutdown";
@@ -93,6 +98,11 @@ void ThreadPool::ParallelFor(size_t n,
 
 ThreadPool& ThreadPool::Default() {
   static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool& ThreadPool::Inline() {
+  static ThreadPool* pool = new ThreadPool(InlineTag{});
   return *pool;
 }
 

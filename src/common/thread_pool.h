@@ -48,7 +48,19 @@ class ThreadPool {
   // static-destruction order is not an issue).
   static ThreadPool& Default();
 
+  // A pool with NO workers: ParallelFor runs the whole range on the calling
+  // thread and Schedule executes the task inline. Hand this to work that
+  // already runs ON a pool worker — re-entering the same pool's ParallelFor
+  // from all of its workers at once would deadlock (every worker blocks
+  // waiting for shards that no free worker exists to run). Used by
+  // api/engine.h to collapse per-solve parallelism when solves themselves
+  // are the parallel dimension.
+  static ThreadPool& Inline();
+
  private:
+  struct InlineTag {};
+  explicit ThreadPool(InlineTag) {}
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;

@@ -15,11 +15,29 @@ ArrivalOracle::ArrivalOracle(const Graph* graph, const GroupAssignment* groups,
       weight_(std::move(weight)),
       delays_(delays),
       options_(options),
-      sampler_(graph, options.model, options.seed) {
+      sampler_(graph, options.model, options.seed),
+      worlds_(options.worlds.get()) {
   TCIM_CHECK(graph != nullptr && groups != nullptr);
   TCIM_CHECK(graph->num_nodes() == groups->num_nodes())
       << "graph/groups node count mismatch";
   TCIM_CHECK(options.num_worlds > 0) << "need at least one world";
+  if (worlds_ != nullptr) {
+    TCIM_CHECK(&worlds_->graph() == graph &&
+               worlds_->num_worlds() == options.num_worlds &&
+               worlds_->model() == options.model &&
+               worlds_->seed() == options.seed)
+        << "world ensemble was built for a different oracle configuration";
+    TCIM_CHECK(worlds_->delays().is_unit() == delays_.is_unit() &&
+               worlds_->delays().meeting_probability() ==
+                   delays_.meeting_probability() &&
+               (delays_.is_unit() ||
+                worlds_->delays().seed() == delays_.seed()))
+        << "world ensemble carries a different delay distribution";
+    // Delays were stored capped; any cap beyond the horizon is equivalent
+    // (a transmission longer than the horizon can never matter).
+    TCIM_CHECK(worlds_->delay_cap() > weight_.horizon())
+        << "world ensemble delay_cap is below this oracle's horizon";
+  }
   arrival_.assign(
       static_cast<size_t>(options.num_worlds) * graph->num_nodes(),
       Unreached());
@@ -89,6 +107,23 @@ GroupVector ArrivalOracle::EvaluateCandidate(NodeId candidate, bool commit) {
                 if (commit) arrival[v] = t;
               }
 
+              if (worlds_ != nullptr) {
+                // Materialized path: live edges with stored delays only.
+                for (const WorldEnsemble::LiveEdge& edge :
+                     worlds_->OutEdges(w, v)) {
+                  const int nt = t + edge.delay;
+                  if (nt > horizon) continue;
+                  const NodeId target = edge.target;
+                  if (scratch.stamp[target] == epoch &&
+                      scratch.dist[target] <= nt) {
+                    continue;  // already settled or tentatively closer
+                  }
+                  scratch.stamp[target] = epoch;
+                  scratch.dist[target] = nt;
+                  scratch.buckets[nt].push_back(target);
+                }
+                continue;
+              }
               for (const AdjacentEdge& edge : graph_->OutEdges(v)) {
                 if (!sampler_.IsLive(w, edge.edge_id)) continue;
                 const int nt =

@@ -22,6 +22,7 @@
 #define TCIM_SIM_ARRIVAL_ORACLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -30,6 +31,7 @@
 #include "sim/live_edge.h"
 #include "sim/oracle_interface.h"
 #include "sim/temporal.h"
+#include "sim/world_ensemble.h"
 
 namespace tcim {
 
@@ -38,6 +40,11 @@ struct ArrivalOracleOptions {
   DiffusionModel model = DiffusionModel::kIndependentCascade;
   uint64_t seed = 0xa55171ull;
   ThreadPool* pool = nullptr;
+  // Pre-materialized live-edge worlds (with delays) to traverse instead of
+  // hashing coins/delays on the fly; see OracleOptions::worlds. Must match
+  // model/seed/num_worlds, carry this oracle's delay distribution, and have
+  // delay_cap > the weight horizon so capped delays stay indistinguishable.
+  std::shared_ptr<const WorldEnsemble> worlds;
 };
 
 class ArrivalOracle : public GroupCoverageOracle {
@@ -91,6 +98,8 @@ class ArrivalOracle : public GroupCoverageOracle {
   DelaySampler delays_;
   ArrivalOracleOptions options_;
   WorldSampler sampler_;
+  // Raw pointer view of options_.worlds (nullptr = hash worlds on the fly).
+  const WorldEnsemble* worlds_ = nullptr;
 
   std::vector<NodeId> seeds_;
   // arrival_[world * n + v]: earliest arrival under committed seeds.

@@ -13,12 +13,20 @@ InfluenceOracle::InfluenceOracle(const Graph* graph,
     : graph_(graph),
       groups_(groups),
       options_(options),
-      sampler_(graph, options.model, options.seed) {
+      sampler_(graph, options.model, options.seed),
+      worlds_(options.worlds.get()) {
   TCIM_CHECK(graph != nullptr && groups != nullptr);
   TCIM_CHECK(graph->num_nodes() == groups->num_nodes())
       << "graph/groups node count mismatch";
   TCIM_CHECK(options.num_worlds > 0) << "need at least one world";
   TCIM_CHECK(options.deadline >= 0) << "deadline must be >= 0 (or kNoDeadline)";
+  if (worlds_ != nullptr) {
+    TCIM_CHECK(&worlds_->graph() == graph &&
+               worlds_->num_worlds() == options.num_worlds &&
+               worlds_->model() == options.model &&
+               worlds_->seed() == options.seed)
+        << "world ensemble was built for a different oracle configuration";
+  }
   words_per_world_ = (static_cast<size_t>(graph->num_nodes()) + 63) / 64;
   covered_.assign(words_per_world_ * options.num_worlds, 0);
   group_coverage_.assign(groups->num_groups(), 0.0);
@@ -56,6 +64,18 @@ void InfluenceOracle::CollectNewlyCovered(uint32_t world, NodeId candidate,
     ++depth;
     for (size_t i = level_begin; i < level_end; ++i) {
       const NodeId v = scratch.queue[i];
+      if (worlds_ != nullptr) {
+        // Materialized path: only live edges, no per-edge coin hashing.
+        for (const WorldEnsemble::LiveEdge& edge : worlds_->OutEdges(world, v)) {
+          if (scratch.stamp[edge.target] == epoch) continue;
+          scratch.stamp[edge.target] = epoch;
+          scratch.queue.push_back(edge.target);
+          if (!IsCovered(world, edge.target)) {
+            scratch.reached.push_back(edge.target);
+          }
+        }
+        continue;
+      }
       for (const AdjacentEdge& edge : graph_->OutEdges(v)) {
         if (scratch.stamp[edge.node] == epoch) continue;
         if (!sampler_.IsLive(world, edge.edge_id)) continue;
@@ -155,6 +175,16 @@ GroupVector InfluenceOracle::EstimateGroupCoverage(
             ++depth;
             for (size_t i = level_begin; i < level_end; ++i) {
               const NodeId v = scratch.queue[i];
+              if (worlds_ != nullptr) {
+                for (const WorldEnsemble::LiveEdge& edge :
+                     worlds_->OutEdges(w, v)) {
+                  if (scratch.stamp[edge.target] == epoch) continue;
+                  scratch.stamp[edge.target] = epoch;
+                  scratch.queue.push_back(edge.target);
+                  local[groups_->GroupOf(edge.target)] += 1.0;
+                }
+                continue;
+              }
               for (const AdjacentEdge& edge : graph_->OutEdges(v)) {
                 if (scratch.stamp[edge.node] == epoch) continue;
                 if (!sampler_.IsLive(w, edge.edge_id)) continue;

@@ -20,6 +20,7 @@
 #define TCIM_SIM_INFLUENCE_ORACLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -28,6 +29,7 @@
 #include "sim/cascade.h"
 #include "sim/live_edge.h"
 #include "sim/oracle_interface.h"
+#include "sim/world_ensemble.h"
 
 namespace tcim {
 
@@ -41,6 +43,12 @@ struct OracleOptions {
   uint64_t seed = 0x9b97f4a7c15ull;
   // Worker pool; nullptr uses ThreadPool::Default().
   ThreadPool* pool = nullptr;
+  // Pre-materialized live-edge worlds to traverse instead of hashing coins
+  // on the fly (api/engine.h shares one ensemble across solves). Must have
+  // been built from the same graph with matching model/seed/num_worlds;
+  // results are bit-identical either way, traversal is just faster. The
+  // ensemble is never mutated — this oracle is a per-solve cursor over it.
+  std::shared_ptr<const WorldEnsemble> worlds;
 };
 
 class InfluenceOracle : public GroupCoverageOracle {
@@ -118,6 +126,8 @@ class InfluenceOracle : public GroupCoverageOracle {
   const GroupAssignment* groups_;
   OracleOptions options_;
   WorldSampler sampler_;
+  // Raw pointer view of options_.worlds (nullptr = hash worlds on the fly).
+  const WorldEnsemble* worlds_ = nullptr;
 
   std::vector<NodeId> seeds_;
   // Bit-packed covered flags. Each world owns `words_per_world_` words so

@@ -84,6 +84,7 @@ class DelaySampler {
 
   bool is_unit() const { return unit_; }
   double meeting_probability() const { return meeting_probability_; }
+  uint64_t seed() const { return seed_; }
 
  private:
   DelaySampler(bool unit, double meeting_probability, uint64_t seed);

@@ -1,0 +1,102 @@
+#include "sim/world_ensemble.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace tcim {
+
+namespace {
+
+// Per-world build output before concatenation into the flat CSR.
+struct WorldBuild {
+  std::vector<WorldEnsemble::LiveEdge> edges;
+  std::vector<uint64_t> offsets;  // n + 1 entries, relative to this world
+};
+
+}  // namespace
+
+WorldEnsemble::WorldEnsemble(const Graph* graph,
+                             const WorldEnsembleOptions& options)
+    : graph_(graph), options_(options) {
+  TCIM_CHECK(graph != nullptr);
+  TCIM_CHECK(options.num_worlds > 0) << "need at least one world";
+  TCIM_CHECK(options.delay_cap >= 1) << "delay_cap must be >= 1";
+
+  const NodeId n = graph->num_nodes();
+  const int num_worlds = options.num_worlds;
+  const WorldSampler sampler(graph, options.model, options.seed);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Default();
+
+  std::vector<WorldBuild> builds(num_worlds);
+  pool.ParallelFor(
+      static_cast<size_t>(num_worlds), [&](size_t begin, size_t end) {
+        // LT only: each node's single chosen live in-edge, resolved once per
+        // world instead of re-hashed for every out-edge scanned.
+        std::vector<EdgeId> lt_choice;
+        for (size_t world = begin; world < end; ++world) {
+          const uint32_t w = static_cast<uint32_t>(world);
+          WorldBuild& build = builds[world];
+          build.offsets.assign(static_cast<size_t>(n) + 1, 0);
+          if (options_.model == DiffusionModel::kLinearThreshold) {
+            lt_choice.resize(n);
+            for (NodeId v = 0; v < n; ++v) {
+              lt_choice[v] = sampler.LinearThresholdChoice(w, v);
+            }
+          }
+          for (NodeId v = 0; v < n; ++v) {
+            for (const AdjacentEdge& edge : graph_->OutEdges(v)) {
+              const bool live =
+                  options_.model == DiffusionModel::kLinearThreshold
+                      ? lt_choice[edge.node] == edge.edge_id
+                      : sampler.IsLive(w, edge.edge_id);
+              if (!live) continue;
+              LiveEdge materialized;
+              materialized.target = edge.node;
+              materialized.delay = static_cast<int32_t>(
+                  options_.delays.Delay(w, edge.edge_id, options_.delay_cap));
+              build.edges.push_back(materialized);
+            }
+            build.offsets[static_cast<size_t>(v) + 1] = build.edges.size();
+          }
+        }
+      });
+
+  uint64_t total = 0;
+  for (const WorldBuild& build : builds) total += build.edges.size();
+  offsets_.resize(static_cast<size_t>(num_worlds) * (n + 1));
+  edges_.resize(total);
+
+  uint64_t base = 0;
+  size_t offset_cursor = 0;
+  for (WorldBuild& build : builds) {
+    for (const uint64_t rel : build.offsets) {
+      offsets_[offset_cursor++] = base + rel;
+    }
+    std::copy(build.edges.begin(), build.edges.end(), edges_.begin() + base);
+    base += build.edges.size();
+    build.edges.clear();
+    build.edges.shrink_to_fit();
+  }
+}
+
+size_t WorldEnsemble::EstimateBytes(const Graph& graph, DiffusionModel model,
+                                    int num_worlds) {
+  const size_t offset_bytes = static_cast<size_t>(num_worlds) *
+                              (static_cast<size_t>(graph.num_nodes()) + 1) *
+                              sizeof(uint64_t);
+  double expected_live = 0.0;
+  if (model == DiffusionModel::kLinearThreshold) {
+    // At most one live in-edge per node per world.
+    expected_live = static_cast<double>(graph.num_nodes());
+  } else {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      expected_live += graph.EdgeProbability(e);
+    }
+  }
+  return offset_bytes + static_cast<size_t>(expected_live * num_worlds *
+                                            sizeof(LiveEdge));
+}
+
+}  // namespace tcim

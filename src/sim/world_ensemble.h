@@ -1,0 +1,113 @@
+// WorldEnsemble — materialized live-edge worlds, the shareable asset behind
+// a reusable solve session (api/engine.h).
+//
+// WorldSampler (sim/live_edge.h) makes liveness a pure hash of
+// (seed, world, edge): worlds cost no memory, but every BFS/Dijkstra edge
+// visit re-pays the hash, and every edge is visited whether it is live or
+// not. A WorldEnsemble flips that trade: it samples all R worlds ONCE into
+// per-world CSR adjacency lists of the live edges only (with their
+// transmission delays), so
+//
+//   * traversal touches live edges only — for Independent Cascade with
+//     activation probability p that is a ~1/p reduction in edges examined,
+//     each examined edge now a plain array read instead of a hash;
+//   * the sampled worlds become an immutable, const-query-safe object that
+//     any number of per-solve oracle cursors can share concurrently.
+//
+// Live-edge order within a node equals the graph's out-edge order, so a
+// traversal over an ensemble visits nodes in exactly the same order as the
+// equivalent hash-on-the-fly traversal — oracles produce bit-identical
+// results with and without an ensemble (tested in
+// tests/world_ensemble_test.cc).
+
+#ifndef TCIM_SIM_WORLD_ENSEMBLE_H_
+#define TCIM_SIM_WORLD_ENSEMBLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "sim/live_edge.h"
+#include "sim/temporal.h"
+
+namespace tcim {
+
+struct WorldEnsembleOptions {
+  int num_worlds = 200;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  uint64_t seed = 0x9b97f4a7c15ull;
+  // Transmission delays to materialize alongside each live edge; Unit()
+  // stores 1 everywhere (classic IC / the montecarlo oracle, which ignores
+  // delays).
+  DelaySampler delays = DelaySampler::Unit();
+  // Delays are stored capped at this value. Horizon-bounded traversals
+  // (sim/arrival_oracle.h) never distinguish delays beyond horizon + 1, so
+  // an ensemble built with delay_cap >= horizon + 1 is exact for them.
+  int delay_cap = std::numeric_limits<int32_t>::max();
+  // Worker pool for the (parallel-over-worlds) build; nullptr uses
+  // ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+};
+
+class WorldEnsemble {
+ public:
+  // One live edge as seen from its source in a fixed world.
+  struct LiveEdge {
+    NodeId target = 0;
+    int32_t delay = 1;
+  };
+
+  // Samples every world eagerly; `graph` must outlive the ensemble.
+  WorldEnsemble(const Graph* graph, const WorldEnsembleOptions& options);
+
+  WorldEnsemble(const WorldEnsemble&) = delete;
+  WorldEnsemble& operator=(const WorldEnsemble&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  int num_worlds() const { return options_.num_worlds; }
+  DiffusionModel model() const { return options_.model; }
+  uint64_t seed() const { return options_.seed; }
+  const DelaySampler& delays() const { return options_.delays; }
+  int delay_cap() const { return options_.delay_cap; }
+
+  // The live out-edges of `v` in `world`, in graph out-edge order.
+  std::span<const LiveEdge> OutEdges(uint32_t world, NodeId v) const {
+    TCIM_DCHECK(world < static_cast<uint32_t>(options_.num_worlds));
+    TCIM_DCHECK(v >= 0 && v < graph_->num_nodes());
+    const size_t base =
+        static_cast<size_t>(world) * (graph_->num_nodes() + 1);
+    const uint64_t begin = offsets_[base + v];
+    const uint64_t end = offsets_[base + v + 1];
+    return {edges_.data() + begin, static_cast<size_t>(end - begin)};
+  }
+
+  // Live edges summed over all worlds.
+  uint64_t total_live_edges() const { return edges_.size(); }
+
+  // Actual heap footprint of the materialized arrays.
+  size_t ApproxBytes() const {
+    return edges_.capacity() * sizeof(LiveEdge) +
+           offsets_.capacity() * sizeof(uint64_t);
+  }
+
+  // Expected footprint of an ensemble BEFORE building it, so callers can
+  // gate materialization (api/engine.h's max_ensemble_bytes). IC uses the
+  // sum of edge probabilities; LT has at most one live in-edge per node.
+  static size_t EstimateBytes(const Graph& graph, DiffusionModel model,
+                              int num_worlds);
+
+ private:
+  const Graph* graph_;
+  WorldEnsembleOptions options_;
+  // offsets_[world * (n + 1) + v] .. [.. + v + 1]: range of v's live
+  // out-edges of `world` in edges_.
+  std::vector<uint64_t> offsets_;
+  std::vector<LiveEdge> edges_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_SIM_WORLD_ENSEMBLE_H_

@@ -1,0 +1,320 @@
+// Engine semantics: a long-lived tcim::Engine must answer exactly like the
+// one-shot facade (seed-for-seed), while its backend cache turns repeated /
+// batched / audited specs into hits instead of fresh world sampling — with
+// observable CacheStats, an Invalidate() rebuild hook, thread-safe async
+// submission, and precise Status rejection of bad --threads values.
+
+#include "api/engine.h"
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/tcim.h"
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : gg_(MakeGraph()) { options_.num_worlds = 60; }
+  static GroupedGraph MakeGraph() {
+    Rng rng(7);
+    return datasets::SyntheticDefault(rng);
+  }
+
+  static constexpr int kDeadline = 20;
+
+  GroupedGraph gg_;
+  SolveOptions options_;
+};
+
+TEST_F(EngineTest, SolveMatchesFreeSolveSeedForSeed) {
+  Engine engine(gg_.graph, gg_.groups);
+  for (const ProblemSpec& spec :
+       {ProblemSpec::Budget(10, kDeadline),
+        ProblemSpec::FairBudget(10, kDeadline),
+        ProblemSpec::Cover(0.15, kDeadline),
+        ProblemSpec::FairCover(0.15, kDeadline),
+        ProblemSpec::Maximin(5, kDeadline)}) {
+    const Result<Solution> via_engine = engine.Solve(spec, options_);
+    const Result<Solution> via_free =
+        Solve(gg_.graph, gg_.groups, spec, options_);
+    ASSERT_TRUE(via_engine.ok()) << via_engine.status().ToString();
+    ASSERT_TRUE(via_free.ok()) << via_free.status().ToString();
+    EXPECT_EQ(via_engine->seeds, via_free->seeds)
+        << "problem " << ProblemKindName(spec.kind);
+    EXPECT_DOUBLE_EQ(via_engine->objective_value, via_free->objective_value);
+    ASSERT_TRUE(via_engine->evaluation.has_value());
+    EXPECT_EQ(via_engine->evaluation->coverage,
+              via_free->evaluation->coverage);
+  }
+}
+
+TEST_F(EngineTest, RepeatedSolvesHitTheBackendCache) {
+  Engine engine(gg_.graph, gg_.groups);
+  const ProblemSpec spec = ProblemSpec::Budget(8, kDeadline);
+
+  const Result<Solution> first = engine.Solve(spec, options_);
+  ASSERT_TRUE(first.ok());
+  CacheStats stats = engine.cache_stats();
+  // One selection backend + one evaluation backend, both built fresh.
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.constructions, 2);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.ensemble_bytes, 0u);
+
+  const Result<Solution> second = engine.Solve(spec, options_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->seeds, first->seeds);
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 2);  // unchanged: warm solve built nothing
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.constructions, 2);
+
+  // A different problem kind over the same backend configuration is a hit
+  // too — the cache keys on the backend, not the problem.
+  const Result<Solution> fair =
+      engine.Solve(ProblemSpec::FairBudget(8, kDeadline), options_);
+  ASSERT_TRUE(fair.ok());
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+
+  // A different deadline is a different backend.
+  const Result<Solution> other =
+      engine.Solve(ProblemSpec::Budget(8, kDeadline + 5), options_);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(engine.cache_stats().misses, 4);
+}
+
+// Satellite regression: a second audit of the same spec must NOT rebuild
+// its evaluation worlds.
+TEST_F(EngineTest, ConsecutiveEvaluationsBuildTheBackendOnce) {
+  Engine engine(gg_.graph, gg_.groups);
+  const ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+  const std::vector<NodeId> seeds = {0, 5, 17};
+
+  const Result<GroupUtilityReport> first =
+      engine.EvaluateSeeds(seeds, spec, options_);
+  const Result<GroupUtilityReport> second =
+      engine.EvaluateSeeds(seeds, spec, options_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_DOUBLE_EQ(first->total, second->total);
+
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.constructions, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+
+  // And the audit agrees with the free function.
+  const Result<GroupUtilityReport> via_free =
+      EvaluateSeeds(gg_.graph, gg_.groups, seeds, spec, options_);
+  ASSERT_TRUE(via_free.ok());
+  EXPECT_DOUBLE_EQ(first->total, via_free->total);
+  EXPECT_DOUBLE_EQ(first->disparity, via_free->disparity);
+}
+
+TEST_F(EngineTest, SolveBatchMatchesSequentialSolveSeedForSeed) {
+  const std::vector<ProblemSpec> specs = {
+      ProblemSpec::Budget(10, kDeadline),
+      ProblemSpec::FairBudget(10, kDeadline),
+      ProblemSpec::Cover(0.15, kDeadline),
+      ProblemSpec::FairCover(0.15, kDeadline),
+      ProblemSpec::Maximin(5, kDeadline),
+      ProblemSpec::Budget(3, kDeadline),
+  };
+
+  Engine batch_engine(gg_.graph, gg_.groups);
+  const std::vector<Result<Solution>> batch =
+      batch_engine.SolveBatch(specs, options_);
+  ASSERT_EQ(batch.size(), specs.size());
+
+  Engine sequential_engine(gg_.graph, gg_.groups);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+    const Result<Solution> sequential =
+        sequential_engine.Solve(specs[i], options_);
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(batch[i]->seeds, sequential->seeds) << "spec " << i;
+    EXPECT_DOUBLE_EQ(batch[i]->objective_value, sequential->objective_value);
+  }
+
+  // All six specs share one (selection, evaluation) backend pair.
+  const CacheStats stats = batch_engine.cache_stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.constructions, 2);
+}
+
+TEST_F(EngineTest, SolveBatchReportsPerSpecErrors) {
+  Engine engine(gg_.graph, gg_.groups);
+  const std::vector<ProblemSpec> specs = {
+      ProblemSpec::Budget(5, kDeadline),
+      ProblemSpec::Budget(-3, kDeadline),  // invalid
+  };
+  const std::vector<Result<Solution>> batch = engine.SolveBatch(specs, options_);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].ok());
+  ASSERT_FALSE(batch[1].ok());
+  EXPECT_EQ(batch[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(batch[1].status().message().find("-3"), std::string::npos);
+}
+
+TEST_F(EngineTest, ConcurrentSubmitSolveFromMultipleThreads) {
+  Engine engine(gg_.graph, gg_.groups);
+  const ProblemSpec spec = ProblemSpec::Budget(8, kDeadline);
+  const Result<Solution> reference = engine.Solve(spec, options_);
+  ASSERT_TRUE(reference.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;
+  std::vector<std::future<Result<Solution>>> futures(kThreads * kPerThread);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        futures[t * kPerThread + i] = engine.SubmitSolve(spec, options_);
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+
+  for (auto& future : futures) {
+    const Result<Solution> solution = future.get();
+    ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+    EXPECT_EQ(solution->seeds, reference->seeds);
+  }
+}
+
+TEST_F(EngineTest, InvalidateForcesARebuild) {
+  Engine engine(gg_.graph, gg_.groups);
+  const ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+  ASSERT_TRUE(engine.Solve(spec, options_).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+
+  engine.Invalidate();
+  CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.invalidations, 1);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.ensemble_bytes, 0u);
+
+  ASSERT_TRUE(engine.Solve(spec, options_).ok());
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 4);  // both backends rebuilt
+  EXPECT_EQ(stats.constructions, 4);
+}
+
+TEST_F(EngineTest, LruEvictsLeastRecentlyUsedBackend) {
+  EngineOptions engine_options;
+  engine_options.max_cached_backends = 2;  // one spec's (selection, eval) pair
+  Engine engine(gg_.graph, gg_.groups, engine_options);
+
+  ASSERT_TRUE(engine.Solve(ProblemSpec::Budget(5, 10), options_).ok());
+  EXPECT_EQ(engine.cache_stats().evictions, 0);
+  // A different deadline needs two new backends; the first pair is evicted.
+  ASSERT_TRUE(engine.Solve(ProblemSpec::Budget(5, 15), options_).ok());
+  EXPECT_EQ(engine.cache_stats().evictions, 2);
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+  // Coming back to the first deadline misses again.
+  ASSERT_TRUE(engine.Solve(ProblemSpec::Budget(5, 10), options_).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 6);
+}
+
+TEST_F(EngineTest, ByteCapFallsBackToHashedWorldsWithIdenticalResults) {
+  EngineOptions engine_options;
+  engine_options.max_ensemble_bytes = 0;  // nothing may materialize
+  Engine engine(gg_.graph, gg_.groups, engine_options);
+  const ProblemSpec spec = ProblemSpec::Budget(8, kDeadline);
+
+  const Result<Solution> capped = engine.Solve(spec, options_);
+  ASSERT_TRUE(capped.ok());
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.constructions, 0);  // fell back, nothing materialized
+  EXPECT_EQ(stats.ensemble_bytes, 0u);
+
+  const Result<Solution> reference =
+      Solve(gg_.graph, gg_.groups, spec, options_);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(capped->seeds, reference->seeds);
+}
+
+TEST_F(EngineTest, NegativeNumThreadsIsAPreciseInvalidArgument) {
+  Engine engine(gg_.graph, gg_.groups);
+  SolveOptions bad = options_;
+  bad.num_threads = -2;
+  const ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+
+  const Result<Solution> solve = engine.Solve(spec, bad);
+  ASSERT_FALSE(solve.ok());
+  EXPECT_EQ(solve.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(solve.status().message().find("num_threads"), std::string::npos);
+  EXPECT_NE(solve.status().message().find("-2"), std::string::npos);
+
+  const std::vector<ProblemSpec> specs = {spec};
+  const std::vector<Result<Solution>> batch = engine.SolveBatch(specs, bad);
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_FALSE(batch[0].ok());
+  EXPECT_EQ(batch[0].status().code(), StatusCode::kInvalidArgument);
+
+  const Result<Solution> submitted = engine.SubmitSolve(spec, bad).get();
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kInvalidArgument);
+
+  const Result<GroupUtilityReport> audit =
+      engine.EvaluateSeeds({0, 1}, spec, bad);
+  ASSERT_FALSE(audit.ok());
+  EXPECT_EQ(audit.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, ExplicitThreadCountsSolveIdentically) {
+  Engine engine(gg_.graph, gg_.groups);
+  const ProblemSpec spec = ProblemSpec::Budget(8, kDeadline);
+  const Result<Solution> reference = engine.Solve(spec, options_);
+  ASSERT_TRUE(reference.ok());
+
+  for (const int threads : {1, 2}) {
+    SolveOptions threaded = options_;
+    threaded.num_threads = threads;
+    const Result<Solution> solution = engine.Solve(spec, threaded);
+    ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+    EXPECT_EQ(solution->seeds, reference->seeds) << "threads=" << threads;
+
+    const std::vector<ProblemSpec> specs = {spec, ProblemSpec::Budget(3, kDeadline)};
+    const std::vector<Result<Solution>> batch =
+        engine.SolveBatch(specs, threaded);
+    ASSERT_TRUE(batch[0].ok());
+    EXPECT_EQ(batch[0]->seeds, reference->seeds);
+  }
+}
+
+TEST_F(EngineTest, ArrivalBackendIsCachedToo) {
+  Engine engine(gg_.graph, gg_.groups);
+  ProblemSpec spec = ProblemSpec::Budget(5, 10);
+  spec.oracle = "arrival";
+  spec.meeting_probability = 0.7;  // geometric delays join the cache key
+
+  const Result<Solution> first = engine.Solve(spec, options_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+
+  const Result<Solution> second = engine.Solve(spec, options_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->seeds, first->seeds);
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+  EXPECT_EQ(engine.cache_stats().hits, 2);
+
+  // Same backend shape but different delay distribution: new backend.
+  ProblemSpec other_delays = spec;
+  other_delays.meeting_probability = 0.3;
+  ASSERT_TRUE(engine.Solve(other_delays, options_).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 4);
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,194 @@
+// WorldEnsemble must be a faithful materialization of WorldSampler's
+// implicit worlds: same live edges in the same order, same delays — so an
+// oracle traversing an ensemble returns bit-identical results to one
+// hashing coins on the fly. That equivalence is what lets api/engine.h
+// swap cached ensembles under every solve without changing any answer.
+
+#include "sim/world_ensemble.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "sim/arrival_oracle.h"
+#include "sim/influence_oracle.h"
+
+namespace tcim {
+namespace {
+
+class WorldEnsembleTest : public ::testing::Test {
+ protected:
+  WorldEnsembleTest() : gg_(MakeGraph()) {}
+  static GroupedGraph MakeGraph() {
+    Rng rng(7);
+    return datasets::SyntheticDefault(rng);
+  }
+
+  static constexpr int kWorlds = 25;
+  static constexpr uint64_t kSeed = 0xfeedull;
+
+  GroupedGraph gg_;
+};
+
+// The ensemble's per-node live lists must equal the sampler's coin flips,
+// edge for edge, in graph out-edge order.
+void ExpectMatchesSampler(const Graph& graph, const WorldEnsemble& ensemble,
+                          DiffusionModel model) {
+  const WorldSampler sampler(&graph, model, ensemble.seed());
+  uint64_t total = 0;
+  for (int world = 0; world < ensemble.num_worlds(); ++world) {
+    const uint32_t w = static_cast<uint32_t>(world);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      std::vector<NodeId> expected;
+      for (const AdjacentEdge& edge : graph.OutEdges(v)) {
+        if (sampler.IsLive(w, edge.edge_id)) expected.push_back(edge.node);
+      }
+      const auto live = ensemble.OutEdges(w, v);
+      ASSERT_EQ(live.size(), expected.size())
+          << "world " << world << " node " << v;
+      for (size_t i = 0; i < live.size(); ++i) {
+        EXPECT_EQ(live[i].target, expected[i]);
+        EXPECT_EQ(live[i].delay, 1);  // unit delays
+      }
+      total += live.size();
+    }
+  }
+  EXPECT_EQ(ensemble.total_live_edges(), total);
+}
+
+TEST_F(WorldEnsembleTest, IndependentCascadeMatchesSamplerCoins) {
+  WorldEnsembleOptions options;
+  options.num_worlds = kWorlds;
+  options.model = DiffusionModel::kIndependentCascade;
+  options.seed = kSeed;
+  const WorldEnsemble ensemble(&gg_.graph, options);
+  ExpectMatchesSampler(gg_.graph, ensemble,
+                       DiffusionModel::kIndependentCascade);
+  EXPECT_GT(ensemble.total_live_edges(), 0u);
+  EXPECT_GT(ensemble.ApproxBytes(), 0u);
+}
+
+TEST_F(WorldEnsembleTest, LinearThresholdMatchesSamplerChoices) {
+  WorldEnsembleOptions options;
+  options.num_worlds = kWorlds;
+  options.model = DiffusionModel::kLinearThreshold;
+  options.seed = kSeed;
+  const WorldEnsemble ensemble(&gg_.graph, options);
+  ExpectMatchesSampler(gg_.graph, ensemble, DiffusionModel::kLinearThreshold);
+  // LT: at most one live in-edge per node per world.
+  EXPECT_LE(ensemble.total_live_edges(),
+            static_cast<uint64_t>(kWorlds) * gg_.graph.num_nodes());
+}
+
+TEST_F(WorldEnsembleTest, GeometricDelaysMatchSamplerUpToCap) {
+  const int cap = 11;
+  const DelaySampler delays = DelaySampler::Geometric(0.4, kSeed ^ 0xd31a5ull);
+  WorldEnsembleOptions options;
+  options.num_worlds = kWorlds;
+  options.seed = kSeed;
+  options.delays = delays;
+  options.delay_cap = cap;
+  const WorldEnsemble ensemble(&gg_.graph, options);
+  const WorldSampler sampler(&gg_.graph, options.model, kSeed);
+  for (int world = 0; world < kWorlds; ++world) {
+    const uint32_t w = static_cast<uint32_t>(world);
+    for (NodeId v = 0; v < gg_.graph.num_nodes(); ++v) {
+      size_t i = 0;
+      for (const AdjacentEdge& edge : gg_.graph.OutEdges(v)) {
+        if (!sampler.IsLive(w, edge.edge_id)) continue;
+        const auto live = ensemble.OutEdges(w, v);
+        ASSERT_LT(i, live.size());
+        EXPECT_EQ(live[i].delay, delays.Delay(w, edge.edge_id, cap));
+        ++i;
+      }
+    }
+  }
+}
+
+TEST_F(WorldEnsembleTest, InfluenceOracleIsBitIdenticalWithEnsemble) {
+  OracleOptions options;
+  options.num_worlds = kWorlds;
+  options.deadline = 12;
+  options.seed = kSeed;
+
+  OracleOptions with_worlds = options;
+  WorldEnsembleOptions ensemble_options;
+  ensemble_options.num_worlds = kWorlds;
+  ensemble_options.model = options.model;
+  ensemble_options.seed = kSeed;
+  with_worlds.worlds =
+      std::make_shared<const WorldEnsemble>(&gg_.graph, ensemble_options);
+
+  InfluenceOracle plain(&gg_.graph, &gg_.groups, options);
+  InfluenceOracle materialized(&gg_.graph, &gg_.groups, with_worlds);
+
+  for (const NodeId candidate : {3, 77, 250, 499}) {
+    EXPECT_EQ(materialized.MarginalGain(candidate),
+              plain.MarginalGain(candidate))
+        << "candidate " << candidate;
+  }
+  for (const NodeId seed : {10, 20, 30}) {
+    EXPECT_EQ(materialized.AddSeed(seed), plain.AddSeed(seed));
+  }
+  EXPECT_EQ(materialized.group_coverage(), plain.group_coverage());
+  const std::vector<NodeId> set = {1, 2, 3, 400};
+  EXPECT_EQ(materialized.EstimateGroupCoverage(set),
+            plain.EstimateGroupCoverage(set));
+}
+
+TEST_F(WorldEnsembleTest, ArrivalOracleIsBitIdenticalWithEnsemble) {
+  const int deadline = 10;
+  const double meeting = 0.6;
+  const DelaySampler delays =
+      DelaySampler::Geometric(meeting, kSeed ^ 0xd31a5ull);
+
+  ArrivalOracleOptions options;
+  options.num_worlds = kWorlds;
+  options.seed = kSeed;
+
+  ArrivalOracleOptions with_worlds = options;
+  WorldEnsembleOptions ensemble_options;
+  ensemble_options.num_worlds = kWorlds;
+  ensemble_options.model = options.model;
+  ensemble_options.seed = kSeed;
+  ensemble_options.delays = delays;
+  ensemble_options.delay_cap = deadline + 1;
+  with_worlds.worlds =
+      std::make_shared<const WorldEnsemble>(&gg_.graph, ensemble_options);
+
+  ArrivalOracle plain(&gg_.graph, &gg_.groups, TemporalWeight::Step(deadline),
+                      delays, options);
+  ArrivalOracle materialized(&gg_.graph, &gg_.groups,
+                             TemporalWeight::Step(deadline), delays,
+                             with_worlds);
+
+  for (const NodeId candidate : {5, 120, 499}) {
+    EXPECT_EQ(materialized.MarginalGain(candidate),
+              plain.MarginalGain(candidate))
+        << "candidate " << candidate;
+  }
+  for (const NodeId seed : {10, 200}) {
+    EXPECT_EQ(materialized.AddSeed(seed), plain.AddSeed(seed));
+  }
+  for (const NodeId v : {0, 42, 365}) {
+    EXPECT_EQ(materialized.ArrivalTime(0, v), plain.ArrivalTime(0, v));
+  }
+}
+
+TEST_F(WorldEnsembleTest, EstimateBytesTracksActualFootprint) {
+  WorldEnsembleOptions options;
+  options.num_worlds = kWorlds;
+  options.seed = kSeed;
+  const WorldEnsemble ensemble(&gg_.graph, options);
+  const size_t estimate = WorldEnsemble::EstimateBytes(
+      gg_.graph, options.model, options.num_worlds);
+  // The estimate is an expectation; it must be the right order of magnitude
+  // (here: within 2x of the realized footprint).
+  EXPECT_GT(estimate, ensemble.ApproxBytes() / 2);
+  EXPECT_LT(estimate, ensemble.ApproxBytes() * 2);
+}
+
+}  // namespace
+}  // namespace tcim
