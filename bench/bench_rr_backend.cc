@@ -1,0 +1,147 @@
+// RR-set backend bench: what does oracle = "rr" buy over "montecarlo" on
+// the paper-figure workloads, cold and warm?
+//
+//   * fig04 workload (synthetic SBM, budget problems): P1 and P4 at
+//     B ∈ {10, 20, 30}, τ = 20 — the repeated-budget-query serving shape;
+//   * fig06 workload (synthetic SBM, cover problems): P2 and P6 at
+//     Q ∈ {0.1, 0.2, 0.3}, τ = 20 — the shape the ROADMAP calls out, where
+//     Monte-Carlo re-pays forward BFS over every world per candidate.
+//
+// "Cold" is the first Engine::Solve (backend built + selection); "warm" is
+// the steady-state re-solve on the cached backend. The acceptance bar is
+// warm RR >= 2x faster than warm Monte-Carlo on the fig06 cover workload
+// (in practice the gap is one to two orders of magnitude: a warm RR solve
+// is pure inverted-index arithmetic, no graph traversal at all).
+//
+// Overrides: --worlds=N (default 200), --rr-sets=N (default 2000),
+// --repeats=N (default 3).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/tcim.h"
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/stopwatch.h"
+
+namespace tcim {
+namespace {
+
+std::vector<ProblemSpec> Fig04Workload() {
+  std::vector<ProblemSpec> specs;
+  for (const int budget : {10, 20, 30}) {
+    specs.push_back(ProblemSpec::Budget(budget, /*deadline=*/20));
+    specs.push_back(ProblemSpec::FairBudget(budget, /*deadline=*/20));
+  }
+  return specs;
+}
+
+std::vector<ProblemSpec> Fig06Workload() {
+  std::vector<ProblemSpec> specs;
+  for (const double quota : {0.1, 0.2, 0.3}) {
+    specs.push_back(ProblemSpec::Cover(quota, /*deadline=*/20));
+    specs.push_back(ProblemSpec::FairCover(quota, /*deadline=*/20));
+  }
+  return specs;
+}
+
+struct Timing {
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;  // average over repeats
+};
+
+// Runs the workload through a fresh Engine with the given oracle: one cold
+// pass, then `repeats` warm passes on the cached backends.
+Timing RunWorkload(const GroupedGraph& gg, std::vector<ProblemSpec> specs,
+                   const std::string& oracle, const SolveOptions& options,
+                   int repeats) {
+  for (ProblemSpec& spec : specs) spec.oracle = oracle;
+  Engine engine(gg.graph, gg.groups);
+
+  Timing timing;
+  Stopwatch cold_watch;
+  for (const ProblemSpec& spec : specs) {
+    const Result<Solution> solution = engine.Solve(spec, options);
+    if (!solution.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   solution.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  timing.cold_seconds = cold_watch.ElapsedSeconds();
+
+  Stopwatch warm_watch;
+  for (int r = 0; r < repeats; ++r) {
+    for (const ProblemSpec& spec : specs) {
+      (void)engine.Solve(spec, options).value();
+    }
+  }
+  timing.warm_seconds = warm_watch.ElapsedSeconds() / repeats;
+
+  std::printf("  %-10s cold %.4fs   warm %.4fs   cache: %s\n", oracle.c_str(),
+              timing.cold_seconds, timing.warm_seconds,
+              engine.cache_stats().DebugString().c_str());
+  return timing;
+}
+
+int Run(int argc, char** argv) {
+  bench::PrintBanner("RR-set backend",
+                     "oracle=rr vs oracle=montecarlo, cold and warm, on the "
+                     "fig04/fig06 synthetic workloads");
+  const int worlds = bench::IntFlag(argc, argv, "worlds", 200);
+  const int rr_sets = bench::IntFlag(argc, argv, "rr-sets", 2000);
+  const int repeats = bench::IntFlag(argc, argv, "repeats", 3);
+
+  Rng rng(4242);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  std::printf("graph: %s, worlds=%d, rr_sets_per_group=%d, repeats=%d\n\n",
+              gg.graph.DebugString().c_str(), worlds, rr_sets, repeats);
+
+  SolveOptions options;
+  options.num_worlds = worlds;
+  options.rr_sets_per_group = rr_sets;
+
+  CsvWriter csv({"workload", "oracle", "cold_seconds", "warm_seconds",
+                 "warm_speedup_vs_mc"});
+  double cover_warm_speedup = 0.0;
+
+  for (const bool cover : {false, true}) {
+    const char* name = cover ? "fig06_cover" : "fig04_budget";
+    std::printf("%s workload (%s):\n", name,
+                cover ? "P2 + P6 over Q in {0.1,0.2,0.3}"
+                      : "P1 + P4 over B in {10,20,30}");
+    const std::vector<ProblemSpec> specs =
+        cover ? Fig06Workload() : Fig04Workload();
+    const Timing mc = RunWorkload(gg, specs, "montecarlo", options, repeats);
+    const Timing rr = RunWorkload(gg, specs, "rr", options, repeats);
+    const double cold_speedup = mc.cold_seconds / rr.cold_seconds;
+    const double warm_speedup = mc.warm_seconds / rr.warm_seconds;
+    std::printf("  rr speedup  cold %.2fx   warm %.2fx\n\n", cold_speedup,
+                warm_speedup);
+    if (cover) cover_warm_speedup = warm_speedup;
+
+    csv.AddRow({name, "montecarlo", FormatDouble(mc.cold_seconds, 6),
+                FormatDouble(mc.warm_seconds, 6), "1"});
+    csv.AddRow({name, "rr", FormatDouble(rr.cold_seconds, 6),
+                FormatDouble(rr.warm_seconds, 6),
+                FormatDouble(warm_speedup, 3)});
+  }
+  bench::WriteCsv(csv, "rr_backend.csv");
+
+  if (cover_warm_speedup < 2.0) {
+    std::printf("ERROR: warm RR speedup %.2fx on the fig06 cover workload is "
+                "below the 2x acceptance bar\n",
+                cover_warm_speedup);
+    return 1;
+  }
+  std::printf("warm RR is %.1fx faster than warm Monte-Carlo on the fig06 "
+              "cover workload (bar: 2x)\n",
+              cover_warm_speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcim
+
+int main(int argc, char** argv) { return tcim::Run(argc, argv); }

@@ -21,6 +21,10 @@
 //   # serving demo: solve the same spec 5 times through one Engine — the
 //   # first call samples worlds, the rest run on the cached backend
 //   tcim_cli --problem=budget --repeat=5 --threads=4
+//
+//   # RR-set (IMM) backend: sketch sized adaptively for a (1-1/e-ε)
+//   # guarantee; warm repeats reuse the cached sketch
+//   tcim_cli --problem=budget --oracle=rr --epsilon=0.2 --repeat=3
 
 #include <cstdio>
 #include <optional>
@@ -64,6 +68,13 @@ int main(int argc, char** argv) {
                   "evaluate this seed file instead of solving");
   flags.AddInt("worlds", 200, "Monte-Carlo worlds for selection");
   flags.AddInt("eval-worlds", 0, "evaluation worlds; 0 = same as --worlds");
+  flags.AddDouble("epsilon", 0.3,
+                  "RR backend: approximation slack of the adaptive (IMM) "
+                  "sketch sizing, in (0,1)");
+  flags.AddDouble("delta", 0.05,
+                  "RR backend: failure probability of the sizing guarantee");
+  flags.AddInt("rr-sets", 0,
+               "RR backend: fixed RR sets per group; 0 = size adaptively");
   flags.AddInt("threads", 0, "worker threads; 0 = all hardware cores");
   flags.AddInt("repeat", 1,
                "solve the spec this many times through one Engine "
@@ -103,6 +114,11 @@ int main(int argc, char** argv) {
   // Negative --threads comes back as a precise InvalidArgument Status from
   // SolveOptions::Validate inside Solve/EvaluateSeeds.
   options.num_threads = static_cast<int>(flags.GetInt("threads"));
+  // RR backend knobs; bad values come back as InvalidArgument from
+  // SolveOptions::Validate, like every other option.
+  options.rr_epsilon = flags.GetDouble("epsilon");
+  options.rr_delta = flags.GetDouble("delta");
+  options.rr_sets_per_group = static_cast<int>(flags.GetInt("rr-sets"));
 
   const int repeat = static_cast<int>(flags.GetInt("repeat"));
   if (repeat < 1) {

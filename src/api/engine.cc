@@ -9,13 +9,14 @@
 #include "common/string_util.h"
 #include "sim/arrival_oracle.h"
 #include "sim/influence_oracle.h"
+#include "sim/rr_oracle.h"
 #include "sim/temporal.h"
 
 namespace tcim {
 namespace {
 
-// The backend identity: specs agreeing on every field here can share one
-// sampled world set. The arrival backend additionally samples per-edge
+// The world-backend identity: specs agreeing on every field here can share
+// one sampled world set. The arrival backend additionally samples per-edge
 // transmission delays, so its delay distribution joins the key (the delay
 // seed is derived from `seed`, which is already included). The deadline is
 // part of the key for both backends — for montecarlo that is slightly
@@ -38,6 +39,50 @@ std::string BackendKey(const ProblemSpec& spec, int num_worlds,
   return key;
 }
 
+// The caller-determined sets-per-group count, or 0 when the IMM adaptive
+// sizing must run (budget-family problems with rr_sets_per_group unset).
+// Cover problems have no a-priori seed budget for the IMM bound, so an
+// unset count falls back to the RrSketchOptions fixed default — which also
+// lets every cover spec share one sketch regardless of quota. Evaluation
+// sketches take the fixed default too: the IMM bound is a *selection*
+// guarantee, and the audit path must not read solver-only fields like
+// budget (ValidateForEvaluation deliberately skips them, so an
+// evaluation-time dependence would turn an unvalidated budget into a
+// crash instead of a Status).
+int ResolvedFixedSetsPerGroup(const ProblemSpec& spec,
+                              const SolveOptions& options, bool evaluation) {
+  if (options.rr_sets_per_group > 0) return options.rr_sets_per_group;
+  if (evaluation || !UsesBudget(spec.kind)) {
+    return RrSketchOptions().sets_per_group;
+  }
+  return 0;
+}
+
+// The sketch-backend identity. A fixed-size sketch is reusable by any spec
+// agreeing on (model, deadline, count, seed); an adaptively-sized one also
+// depends on the IMM inputs (budget, ε, δ), which therefore join the key.
+// ε and δ enter as exact bit patterns for the same reason as the arrival
+// backend's meeting probability above.
+std::string SketchKey(const ProblemSpec& spec, const SolveOptions& options,
+                      uint64_t seed, bool evaluation) {
+  std::string key = StrFormat("rr|%s|tau=%d|", DiffusionModelName(spec.model),
+                              spec.deadline);
+  const int fixed = ResolvedFixedSetsPerGroup(spec, options, evaluation);
+  if (fixed > 0) {
+    key += StrFormat("spg=%d", fixed);
+  } else {
+    uint64_t eps_bits = 0;
+    uint64_t delta_bits = 0;
+    std::memcpy(&eps_bits, &options.rr_epsilon, sizeof(eps_bits));
+    std::memcpy(&delta_bits, &options.rr_delta, sizeof(delta_bits));
+    key += StrFormat("imm|B=%d|eps=%llx|delta=%llx", spec.budget,
+                     static_cast<unsigned long long>(eps_bits),
+                     static_cast<unsigned long long>(delta_bits));
+  }
+  key += StrFormat("|seed=%llu", static_cast<unsigned long long>(seed));
+  return key;
+}
+
 Status ValidateSeedSet(const Graph& graph, const std::vector<NodeId>& seeds) {
   for (const NodeId seed : seeds) {
     if (seed < 0 || seed >= graph.num_nodes()) {
@@ -54,10 +99,12 @@ Status ValidateSeedSet(const Graph& graph, const std::vector<NodeId>& seeds) {
 std::string CacheStats::DebugString() const {
   return StrFormat(
       "hits=%lld misses=%lld constructions=%lld evictions=%lld "
-      "invalidations=%lld entries=%zu ensemble_bytes=%zu",
+      "invalidations=%lld entries=%zu (worlds=%zu sketches=%zu) "
+      "ensemble_bytes=%zu sketch_bytes=%zu",
       static_cast<long long>(hits), static_cast<long long>(misses),
       static_cast<long long>(constructions), static_cast<long long>(evictions),
-      static_cast<long long>(invalidations), entries, ensemble_bytes);
+      static_cast<long long>(invalidations), entries, world_entries,
+      sketch_entries, ensemble_bytes, sketch_bytes);
 }
 
 Engine::Engine(const Graph& graph, const GroupAssignment& groups,
@@ -96,26 +143,27 @@ Engine::ResolvedPool Engine::ResolvePool(const SolveOptions& options) const {
   return resolved;
 }
 
-std::shared_ptr<const WorldEnsemble> Engine::AcquireEnsemble(
-    const ProblemSpec& spec, int num_worlds, uint64_t seed,
-    ThreadPool& build_pool) {
-  const std::string key = BackendKey(spec, num_worlds, seed);
-  std::promise<std::shared_ptr<const WorldEnsemble>> promise;
-  std::shared_future<std::shared_ptr<const WorldEnsemble>> ready;
+std::shared_future<Engine::BackendValue> Engine::AcquireBackend(
+    const std::string& key, BackendKind kind,
+    const std::function<BackendValue()>& build) {
+  std::promise<BackendValue> promise;
+  std::shared_future<BackendValue> ready;
   bool builder = false;
+  uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second.lru_position);
-      ready = it->second.backend.ensemble;
+      ready = it->second.backend;
     } else {
       ++stats_.misses;
       builder = true;
+      generation = ++next_generation_;
       ready = promise.get_future().share();
       lru_.push_front(key);
-      cache_.emplace(key, CacheEntry{lru_.begin(), Backend{ready}});
+      cache_.emplace(key, CacheEntry{lru_.begin(), kind, generation, ready});
       while (cache_.size() >
              static_cast<size_t>(options_.max_cached_backends)) {
         cache_.erase(lru_.back());
@@ -124,37 +172,93 @@ std::shared_ptr<const WorldEnsemble> Engine::AcquireEnsemble(
       }
     }
   }
-  if (!builder) {
-    // Either already materialized or being built by another thread; the
-    // shared_future makes every concurrent requester of one key wait on a
-    // single construction instead of sampling duplicate world sets.
-    return ready.get();
-  }
-
-  std::shared_ptr<const WorldEnsemble> built;
-  if (WorldEnsemble::EstimateBytes(graph_, spec.model, num_worlds) <=
-      options_.max_ensemble_bytes) {
-    WorldEnsembleOptions ensemble_options;
-    ensemble_options.num_worlds = num_worlds;
-    ensemble_options.model = spec.model;
-    ensemble_options.seed = seed;
-    ensemble_options.pool = &build_pool;
-    if (spec.oracle == "arrival") {
-      ensemble_options.delays =
-          spec.meeting_probability >= 1.0
-              ? DelaySampler::Unit()
-              : DelaySampler::Geometric(spec.meeting_probability,
-                                        seed ^ 0xd31a5ull);
-      // Exact for any horizon-bounded traversal of this backend: delays
-      // beyond deadline + 1 are indistinguishable from it.
-      ensemble_options.delay_cap = spec.deadline + 1;
+  if (builder) {
+    // Built outside the lock; the shared_future makes every concurrent
+    // requester of one key wait on a single construction instead of
+    // sampling duplicate backends.
+    try {
+      promise.set_value(build());
+    } catch (...) {
+      // A failed build (e.g. bad_alloc on an oversized sketch) must not
+      // poison the cache: drop the entry so the next request rebuilds,
+      // and hand waiters the real exception instead of broken_promise.
+      // The generation check keeps this from erasing a healthy entry that
+      // replaced ours after an eviction or Invalidate().
+      {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end() && it->second.generation == generation) {
+          lru_.erase(it->second.lru_position);
+          cache_.erase(it);
+        }
+      }
+      promise.set_exception(std::current_exception());
+      throw;
     }
-    built = std::make_shared<const WorldEnsemble>(&graph_, ensemble_options);
+  }
+  return ready;
+}
+
+std::shared_ptr<const WorldEnsemble> Engine::AcquireEnsemble(
+    const ProblemSpec& spec, int num_worlds, uint64_t seed,
+    ThreadPool& build_pool) {
+  const std::string key = BackendKey(spec, num_worlds, seed);
+  const auto build = [&]() -> BackendValue {
+    std::shared_ptr<const WorldEnsemble> built;
+    if (WorldEnsemble::EstimateBytes(graph_, spec.model, num_worlds) <=
+        options_.max_ensemble_bytes) {
+      WorldEnsembleOptions ensemble_options;
+      ensemble_options.num_worlds = num_worlds;
+      ensemble_options.model = spec.model;
+      ensemble_options.seed = seed;
+      ensemble_options.pool = &build_pool;
+      if (spec.oracle == "arrival") {
+        ensemble_options.delays =
+            spec.meeting_probability >= 1.0
+                ? DelaySampler::Unit()
+                : DelaySampler::Geometric(spec.meeting_probability,
+                                          seed ^ 0xd31a5ull);
+        // Exact for any horizon-bounded traversal of this backend: delays
+        // beyond deadline + 1 are indistinguishable from it.
+        ensemble_options.delay_cap = spec.deadline + 1;
+      }
+      built = std::make_shared<const WorldEnsemble>(&graph_, ensemble_options);
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      ++stats_.constructions;
+    }
+    return built;
+  };
+  return std::get<std::shared_ptr<const WorldEnsemble>>(
+      AcquireBackend(key, BackendKind::kWorlds, build).get());
+}
+
+std::shared_ptr<const RrSketch> Engine::AcquireSketch(
+    const ProblemSpec& spec, const SolveOptions& options, uint64_t seed,
+    bool evaluation, ThreadPool& build_pool) {
+  const std::string key = SketchKey(spec, options, seed, evaluation);
+  const auto build = [&]() -> BackendValue {
+    RrSketchOptions sketch_options;
+    sketch_options.model = spec.model;
+    sketch_options.deadline = spec.deadline;
+    sketch_options.seed = seed;
+    sketch_options.pool = &build_pool;
+    int per_group = ResolvedFixedSetsPerGroup(spec, options, evaluation);
+    if (per_group == 0) {
+      // IMM adaptive sizing, paid once per cache residency of this key;
+      // warm solves of the same (budget, ε, δ) shape reuse the result.
+      per_group = ComputeAdaptiveSetsPerGroup(graph_, groups_, spec.budget,
+                                              options.rr_epsilon,
+                                              options.rr_delta, sketch_options);
+    }
+    sketch_options.sets_per_group = per_group;
+    std::shared_ptr<const RrSketch> built =
+        std::make_shared<const RrSketch>(&graph_, &groups_, sketch_options);
     std::lock_guard<std::mutex> lock(cache_mutex_);
     ++stats_.constructions;
-  }
-  promise.set_value(built);
-  return built;
+    return built;
+  };
+  return std::get<std::shared_ptr<const RrSketch>>(
+      AcquireBackend(key, BackendKind::kSketch, build).get());
 }
 
 std::unique_ptr<GroupCoverageOracle> Engine::MakeOracle(
@@ -165,6 +269,14 @@ std::unique_ptr<GroupCoverageOracle> Engine::MakeOracle(
                                                 : options.num_worlds;
   const uint64_t seed =
       evaluation ? options.evaluation_seed : options.selection_seed;
+  if (spec.oracle == "rr") {
+    // The sketch plays the role the world ensemble plays for the other
+    // backends — including an independent evaluation-seeded sketch for the
+    // §6.1 fresh-randomness audit. num_worlds does not apply; the sketch
+    // size comes from rr_sets_per_group / the IMM sizing.
+    return std::make_unique<RrOracle>(
+        &graph_, &groups_, AcquireSketch(spec, options, seed, evaluation, pool));
+  }
   std::shared_ptr<const WorldEnsemble> worlds =
       AcquireEnsemble(spec, num_worlds, seed, pool);
   if (spec.oracle == "arrival") {
@@ -207,6 +319,9 @@ GroupVector Engine::EvaluationCoverage(const std::vector<NodeId>& seeds,
   if (auto* influence = dynamic_cast<InfluenceOracle*>(oracle.get())) {
     // Cheaper one-shot path; identical to committing seed by seed.
     return influence->EstimateGroupCoverage(seeds);
+  }
+  if (auto* rr = dynamic_cast<RrOracle*>(oracle.get())) {
+    return rr->sketch().EstimateGroupCoverage(seeds);
   }
   for (const NodeId seed : seeds) oracle->AddSeed(seed);
   return oracle->group_coverage();
@@ -372,12 +487,20 @@ CacheStats Engine::cache_stats() const {
   stats.entries = cache_.size();
   stats.ensemble_bytes = 0;
   for (const auto& [key, entry] : cache_) {
-    const auto& pending = entry.backend.ensemble;
-    if (pending.wait_for(std::chrono::seconds(0)) ==
+    (entry.kind == BackendKind::kWorlds ? stats.world_entries
+                                        : stats.sketch_entries)++;
+    const auto& pending = entry.backend;
+    if (pending.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready) {
-      if (const std::shared_ptr<const WorldEnsemble>& ensemble = pending.get()) {
-        stats.ensemble_bytes += ensemble->ApproxBytes();
-      }
+      continue;  // still building; counted as an entry, bytes unknown yet
+    }
+    const BackendValue& value = pending.get();
+    if (const auto* worlds =
+            std::get_if<std::shared_ptr<const WorldEnsemble>>(&value)) {
+      if (*worlds != nullptr) stats.ensemble_bytes += (*worlds)->ApproxBytes();
+    } else if (const auto* sketch =
+                   std::get_if<std::shared_ptr<const RrSketch>>(&value)) {
+      if (*sketch != nullptr) stats.sketch_bytes += (*sketch)->ApproxBytes();
     }
   }
   return stats;

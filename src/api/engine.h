@@ -1,21 +1,26 @@
 // tcim::Engine — a reusable solve session over one (graph, groups).
 //
-// tcim::Solve() is a one-shot: every call samples its oracle backend's
-// Monte-Carlo worlds from scratch, which dominates the cost of repeated
-// queries over the same network. An Engine is constructed once and answers
-// many queries, keeping an LRU cache of materialized oracle backends
-// (sim/world_ensemble.h) keyed by
+// tcim::Solve() is a one-shot: every call samples its oracle backend from
+// scratch, which dominates the cost of repeated queries over the same
+// network. An Engine is constructed once and answers many queries, keeping
+// an LRU cache of materialized oracle backends. A cached backend is one of
 //
-//   (oracle kind, diffusion model, deadline, num_worlds, sampler seed
-//    [, delay distribution for the arrival backend])
+//   * a WorldEnsemble (sim/world_ensemble.h) — sampled live-edge worlds
+//     for the "montecarlo" and "arrival" oracles, keyed by (oracle kind,
+//     diffusion model, deadline, num_worlds, sampler seed [, delay
+//     distribution for the arrival backend]);
+//   * an RrSketch (sim/rr_sets.h) — reverse-reachable sets for the "rr"
+//     oracle, keyed by (diffusion model, deadline, sets-per-group — or,
+//     when sized adaptively, the IMM inputs budget/ε/δ — and sampler
+//     seed);
 //
 // so every spec sharing a backend — repeated Solves, SolveBatch siblings,
-// EvaluateSeeds audits — pays world sampling once. Backends are immutable;
-// each solve queries them through its own freshly-allocated oracle cursor,
-// so concurrent solves never race and cached state is never mutated.
-// Results are bit-identical to the one-shot path: the free functions
-// tcim::Solve / tcim::EvaluateSeeds are now thin wrappers that construct a
-// throwaway Engine.
+// EvaluateSeeds audits — pays sampling once. Backends are immutable; each
+// solve queries them through its own freshly-allocated oracle cursor, so
+// concurrent solves never race and cached state is never mutated. Results
+// are bit-identical to the one-shot path: the free functions tcim::Solve /
+// tcim::EvaluateSeeds are now thin wrappers that construct a throwaway
+// Engine.
 //
 //   tcim::Engine engine(graph, groups);
 //   auto a = engine.Solve(spec);                  // cold: samples worlds
@@ -35,6 +40,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -42,6 +48,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "api/problem_spec.h"
@@ -52,6 +59,7 @@
 #include "graph/graph.h"
 #include "graph/groups.h"
 #include "sim/oracle_interface.h"
+#include "sim/rr_sets.h"
 #include "sim/world_ensemble.h"
 
 namespace tcim {
@@ -61,9 +69,12 @@ struct EngineOptions {
   // are dropped. Must be >= 1.
   int max_cached_backends = 8;
 
-  // Backends whose estimated materialized footprint exceeds this fall back
-  // to hash-on-the-fly world sampling (still correct, still cached as an
-  // entry so the decision is made once).
+  // World ensembles whose estimated materialized footprint exceeds this
+  // fall back to hash-on-the-fly world sampling (still correct, still
+  // cached as an entry so the decision is made once). RR sketches are
+  // exempt: the sketch IS the oracle's data structure, not a traversal
+  // accelerator, so there is nothing to fall back to — sketch bytes are
+  // reported in CacheStats and bounded by max_cached_backends instead.
   size_t max_ensemble_bytes = size_t{512} << 20;  // 512 MiB
 
   // Engine-owned worker pool size for oracle queries and batch fan-out;
@@ -75,16 +86,25 @@ struct EngineOptions {
   ThreadPool* pool = nullptr;
 };
 
-// Observability snapshot of the backend cache.
+// Observability snapshot of the backend cache, overall and split by
+// backend kind (world ensembles vs RR sketches) so a mixed-oracle workload
+// shows where the cache's memory and build work actually go.
 struct CacheStats {
   int64_t hits = 0;        // backend requests served from cache
   int64_t misses = 0;      // backend requests that had to build
-  int64_t constructions = 0;  // ensembles actually materialized (== misses
-                              // unless max_ensemble_bytes forced fallbacks)
+  int64_t constructions = 0;  // backends actually materialized (== misses
+                              // unless max_ensemble_bytes forced world
+                              // fallbacks)
   int64_t evictions = 0;   // LRU drops
   int64_t invalidations = 0;  // Invalidate() calls
-  size_t entries = 0;      // backends currently cached
-  size_t ensemble_bytes = 0;  // bytes held by cached ensembles
+  size_t entries = 0;      // backends currently cached (all kinds)
+  size_t ensemble_bytes = 0;  // bytes held by cached world ensembles
+
+  // Per-kind split of `entries`, plus the sketch analogue of
+  // `ensemble_bytes`.
+  size_t world_entries = 0;   // cached entries holding (or building) worlds
+  size_t sketch_entries = 0;  // cached entries holding (or building) sketches
+  size_t sketch_bytes = 0;    // bytes held by cached RR sketches
 
   // "hits=9 misses=2 ... bytes=1.5MiB" one-liner for logs.
   std::string DebugString() const;
@@ -142,15 +162,23 @@ class Engine {
   void Invalidate();
 
  private:
-  // One cached backend: the (possibly absent, when over the bytes cap)
-  // materialized world ensemble, published through a shared_future so
-  // concurrent requesters of the same key build once and wait.
-  struct Backend {
-    std::shared_future<std::shared_ptr<const WorldEnsemble>> ensemble;
-  };
+  // What one cache entry materializes: sampled worlds for the montecarlo /
+  // arrival oracles (possibly absent when over the bytes cap — oracles
+  // then hash worlds on the fly) or an RR sketch for the rr oracle (always
+  // present). Published through a shared_future so concurrent requesters
+  // of one key build once and wait.
+  using BackendValue =
+      std::variant<std::shared_ptr<const WorldEnsemble>,
+                   std::shared_ptr<const RrSketch>>;
+  enum class BackendKind { kWorlds, kSketch };
   struct CacheEntry {
     std::list<std::string>::iterator lru_position;
-    Backend backend;
+    BackendKind kind;
+    // Monotonic insertion id: a failed builder erases its entry only if
+    // the key still holds THIS generation (the entry may have been
+    // evicted and re-created by a healthy build in the meantime).
+    uint64_t generation = 0;
+    std::shared_future<BackendValue> backend;
   };
 
   // The worker pool for a top-level call: options.pool, else the engine's.
@@ -164,12 +192,32 @@ class Engine {
   };
   ResolvedPool ResolvePool(const SolveOptions& options) const;
 
-  // Cache lookup/build of the backend for (spec, worlds, seed); `build_pool`
-  // runs the materialization. Returns nullptr when materialization was
-  // skipped (bytes cap) — oracles then hash worlds on the fly.
+  // Generic cache lookup: returns the (possibly still building) backend
+  // for `key`, invoking `build` exactly once per cache residency of the
+  // key. `build` runs outside the cache lock.
+  std::shared_future<BackendValue> AcquireBackend(
+      const std::string& key, BackendKind kind,
+      const std::function<BackendValue()>& build);
+
+  // Cache lookup/build of the world backend for (spec, worlds, seed);
+  // `build_pool` runs the materialization. Returns nullptr when
+  // materialization was skipped (bytes cap) — oracles then hash worlds on
+  // the fly.
   std::shared_ptr<const WorldEnsemble> AcquireEnsemble(
       const ProblemSpec& spec, int num_worlds, uint64_t seed,
       ThreadPool& build_pool);
+
+  // Cache lookup/build of the RR-sketch backend for (spec, options, seed).
+  // Never null: the sketch is the oracle's data structure. With
+  // SolveOptions::rr_sets_per_group == 0 the IMM adaptive sizing runs
+  // inside the (cached, once-per-key) build — selection sketches only;
+  // evaluation sketches use the fixed default (the IMM bound is a
+  // selection guarantee, and the audit path must not depend on
+  // solver-only spec fields).
+  std::shared_ptr<const RrSketch> AcquireSketch(const ProblemSpec& spec,
+                                                const SolveOptions& options,
+                                                uint64_t seed, bool evaluation,
+                                                ThreadPool& build_pool);
 
   // Builds the selection- (evaluation=false) or evaluation-time oracle for
   // a validated spec, on a cached backend.
@@ -201,6 +249,7 @@ class Engine {
   mutable std::mutex cache_mutex_;
   std::list<std::string> lru_;  // most recently used first
   std::map<std::string, CacheEntry> cache_;
+  uint64_t next_generation_ = 0;  // guarded by cache_mutex_
   CacheStats stats_;
 
   // In-flight SubmitSolve tasks; the destructor waits for them.

@@ -4,8 +4,6 @@
 
 namespace tcim {
 
-namespace {
-
 bool UsesBudget(ProblemKind kind) {
   return kind == ProblemKind::kBudget || kind == ProblemKind::kFairBudget ||
          kind == ProblemKind::kMaximin;
@@ -14,8 +12,6 @@ bool UsesBudget(ProblemKind kind) {
 bool UsesQuota(ProblemKind kind) {
   return kind == ProblemKind::kCover || kind == ProblemKind::kFairCover;
 }
-
-}  // namespace
 
 const char* ProblemKindName(ProblemKind kind) {
   switch (kind) {
@@ -56,9 +52,10 @@ Status ValidateOracleConfig(const ProblemSpec& spec) {
                   "got %d",
                   spec.deadline));
   }
-  if (spec.oracle != "montecarlo" && spec.oracle != "arrival") {
+  if (spec.oracle != "montecarlo" && spec.oracle != "arrival" &&
+      spec.oracle != "rr") {
     return InvalidArgumentError("unknown oracle \"" + spec.oracle +
-                                "\"; known backends: montecarlo, arrival");
+                                "\"; known backends: montecarlo, arrival, rr");
   }
   if (spec.oracle == "arrival") {
     if (spec.temporal_weight != "step" && spec.temporal_weight != "exponential" &&
@@ -220,6 +217,21 @@ Status SolveOptions::Validate(const Graph& graph) const {
   if (max_seeds <= 0) {
     return InvalidArgumentError(
         StrFormat("max_seeds must be positive, got %d", max_seeds));
+  }
+  if (rr_sets_per_group < 0) {
+    return InvalidArgumentError(StrFormat(
+        "rr_sets_per_group must be >= 0 (0 = size automatically), got %d",
+        rr_sets_per_group));
+  }
+  if (rr_epsilon <= 0.0 || rr_epsilon >= 1.0) {
+    return InvalidArgumentError(
+        StrFormat("rr_epsilon must be in (0, 1), got %s",
+                  FormatDouble(rr_epsilon).c_str()));
+  }
+  if (rr_delta <= 0.0 || rr_delta >= 1.0) {
+    return InvalidArgumentError(
+        StrFormat("rr_delta must be in (0, 1), got %s",
+                  FormatDouble(rr_delta).c_str()));
   }
   if (num_threads < 0) {
     return InvalidArgumentError(StrFormat(

@@ -44,6 +44,13 @@ enum class ProblemKind {
 // "maximin".
 const char* ProblemKindName(ProblemKind kind);
 
+// True for the problems whose primal knob is the seed budget B (P1, P4,
+// maximin); false for the quota-driven cover problems (P2, P6). Shared by
+// spec validation and the Engine's RR sketch sizing so the two can never
+// disagree on what "budget-family" means.
+bool UsesBudget(ProblemKind kind);
+bool UsesQuota(ProblemKind kind);
+
 // Parses a kind name; also accepts the paper's labels "p1", "p4", "p2",
 // "p6". The error message lists every accepted spelling.
 Result<ProblemKind> ParseProblemKind(const std::string& text);
@@ -79,8 +86,10 @@ struct ProblemSpec {
   std::string solver;
 
   // Oracle backend: "montecarlo" (bit-packed covered sets, the paper's
-  // Eq. 1 step utility) or "arrival" (earliest-arrival times with general
-  // temporal weights / IC-M delays). See api/solve.h.
+  // Eq. 1 step utility), "arrival" (earliest-arrival times with general
+  // temporal weights / IC-M delays), or "rr" (reverse-reachable sketches
+  // with IMM-style sizing — the fast backend for repeated cover/budget
+  // queries; see sim/rr_sets.h and SolveOptions::rr_*). See api/solve.h.
   std::string oracle = "montecarlo";
 
   // Arrival-backend temporal weight: "step", "exponential", or "linear"
@@ -143,6 +152,19 @@ struct SolveOptions {
 
   // RNG seed for randomized baseline solvers (e.g. "random").
   uint64_t baseline_seed = 0xba5e11ull;
+
+  // --- RR-set ("rr") backend knobs. ---------------------------------------
+  // RR sets sampled per group. 0 = size automatically: IMM-style adaptive
+  // sizing (sim/imm_sizing.cc, driven by rr_epsilon/rr_delta and the
+  // spec's budget) for the budget-family problems, the RrSketchOptions
+  // default fixed count for the cover problems (whose seed count is an
+  // output, not an input, so the IMM budget term does not apply).
+  int rr_sets_per_group = 0;
+  // Approximation slack ε of the adaptive sizing's (1 − 1/e − ε)
+  // guarantee; smaller = bigger sketch. Must be in (0, 1).
+  double rr_epsilon = 0.3;
+  // Failure probability δ of that guarantee. Must be in (0, 1).
+  double rr_delta = 0.05;
 
   // Worker threads for oracle queries (Engine::Solve) and for the
   // solve-level fan-out (Engine::SolveBatch): 0 uses the engine's pool (or

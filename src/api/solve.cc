@@ -22,7 +22,9 @@ Result<GroupUtilityReport> EvaluateSeeds(const Graph& graph,
                                          const SolveOptions& options) {
   // A one-shot audit traverses its worlds exactly once, so materializing
   // them first can't amortize; a zero byte budget keeps the classic
-  // hash-on-the-fly worlds (identical numbers either way).
+  // hash-on-the-fly worlds (identical numbers either way). RR sketches
+  // are exempt from the cap — for oracle = "rr" the sketch IS the
+  // estimator, so it is built regardless.
   EngineOptions engine_options;
   engine_options.max_ensemble_bytes = 0;
   Engine engine(graph, groups, engine_options);

@@ -16,6 +16,7 @@
 #include "core/greedy.h"
 #include "core/maximin.h"
 #include "core/objectives.h"
+#include "sim/rr_oracle.h"
 
 namespace tcim {
 namespace {
@@ -130,6 +131,88 @@ class SaturateSolver : public Solver {
   }
 };
 TCIM_REGISTER_SOLVER(SaturateSolver)
+
+// Direct weighted max-coverage on the RR sketch — the optional fast path
+// past the RrOracle adapter. Where greedy+CELF re-walks a candidate's
+// inverted-index entry on every surfaced heap pop, RrSketch::SelectSeeds*
+// maintain exact per-(node, group) uncovered counts, so each iteration is
+// one dense argmax sweep. Requires spec.oracle = "rr"; results agree with
+// "greedy" on the same sketch up to tie-breaking (both maximize the same
+// estimated objective).
+class RrSelectSolver : public Solver {
+ public:
+  std::string name() const override { return "rr_select"; }
+  std::string description() const override {
+    return "direct weighted max-coverage on the RR sketch "
+           "(requires oracle=rr)";
+  }
+  bool Supports(ProblemKind kind) const override {
+    return kind == ProblemKind::kBudget || kind == ProblemKind::kFairBudget ||
+           kind == ProblemKind::kFairCover;
+  }
+
+  Result<Solution> Run(SolverContext& context) const override {
+    const ProblemSpec& spec = context.spec();
+    if (spec.oracle != "rr") {
+      return InvalidArgumentError(
+          "solver \"rr_select\" runs directly on the RR sketch; set "
+          "spec.oracle = \"rr\" (or use solver \"greedy\")");
+    }
+    if (context.options().candidates != nullptr) {
+      return InvalidArgumentError(
+          "solver \"rr_select\" does not support a candidate restriction; "
+          "use solver \"greedy\" with oracle=rr");
+    }
+    auto* rr = dynamic_cast<RrOracle*>(&context.oracle());
+    if (rr == nullptr) {
+      return InternalError("oracle \"rr\" did not produce an RrOracle");
+    }
+    const RrSketch& sketch = rr->sketch();
+
+    std::vector<NodeId> seeds;
+    switch (spec.kind) {
+      case ProblemKind::kBudget:
+        seeds = sketch.SelectSeedsBudget(spec.budget,
+                                         [](double z) { return z; });
+        break;
+      case ProblemKind::kFairBudget: {
+        if (!spec.group_policy.weights.empty() ||
+            spec.group_policy.normalize_by_group_size) {
+          return InvalidArgumentError(
+              "solver \"rr_select\" supports fair_budget only with the "
+              "default group policy; use solver \"greedy\"");
+        }
+        const ConcaveFunction h = spec.concave;
+        seeds = sketch.SelectSeedsBudget(spec.budget,
+                                         [h](double z) { return h(z); });
+        break;
+      }
+      case ProblemKind::kFairCover:
+        seeds = sketch.SelectSeedsCover(spec.quota, context.options().max_seeds);
+        break;
+      default:
+        return InternalError("rr_select dispatched an unsupported spec");
+    }
+
+    Solution solution;
+    solution.seeds = std::move(seeds);
+    solution.coverage = sketch.EstimateGroupCoverage(solution.seeds);
+    solution.normalized = NormalizeCoverage(solution.coverage, context.groups());
+    if (spec.kind == ProblemKind::kFairCover) {
+      const TruncatedQuotaObjective objective(spec.quota, &context.groups());
+      solution.objective_value = objective.Value(solution.coverage);
+      solution.target_reached =
+          solution.objective_value >= objective.SaturationValue() - 1e-9;
+    } else {
+      solution.objective_value = internal::BudgetObjectiveValue(
+          spec, context.groups(), solution.coverage);
+    }
+    solution.diagnostics.oracle_calls =
+        static_cast<int64_t>(solution.seeds.size());
+    return solution;
+  }
+};
+TCIM_REGISTER_SOLVER(RrSelectSolver)
 
 // Structure-driven baseline seeders (core/baselines.h). They pick seeds
 // without an oracle — when the fresh-world evaluation is on (the default),

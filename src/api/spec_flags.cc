@@ -12,7 +12,7 @@ void AddProblemSpecFlags(FlagParser& flags) {
   flags.AddString("solver", "",
                   "solver registry key; empty picks the problem's default "
                   "(see --list_solvers)");
-  flags.AddChoice("oracle", "montecarlo", {"montecarlo", "arrival"},
+  flags.AddChoice("oracle", "montecarlo", {"montecarlo", "arrival", "rr"},
                   "coverage oracle backend");
   flags.AddInt("budget", 30, "seed budget B (budget/maximin problems)");
   flags.AddDouble("quota", 0.2, "coverage quota Q (cover problems)");

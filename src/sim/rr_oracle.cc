@@ -1,0 +1,51 @@
+#include "sim/rr_oracle.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace tcim {
+
+RrOracle::RrOracle(const Graph* graph, const GroupAssignment* groups,
+                   std::shared_ptr<const RrSketch> sketch)
+    : graph_(graph), groups_(groups), sketch_(std::move(sketch)) {
+  TCIM_CHECK(graph_ != nullptr && groups_ != nullptr && sketch_ != nullptr);
+  TCIM_CHECK(graph_->num_nodes() == groups_->num_nodes());
+  TCIM_CHECK(sketch_->num_groups() == groups_->num_groups());
+  covered_.assign(sketch_->num_sets(), 0);
+  group_coverage_.assign(groups_->num_groups(), 0.0);
+}
+
+GroupVector RrOracle::EvaluateCandidate(NodeId candidate, bool commit) {
+  TCIM_CHECK(candidate >= 0 && candidate < graph_->num_nodes());
+  GroupVector gain(groups_->num_groups(), 0.0);
+  for (const int32_t set_id : sketch_->SetsContaining(candidate)) {
+    if (covered_[set_id]) continue;
+    const GroupId g = sketch_->SetRootGroup(set_id);
+    gain[g] += sketch_->GroupWeight(g);
+    if (commit) covered_[set_id] = 1;
+  }
+  if (commit) {
+    seeds_.push_back(candidate);
+    for (GroupId g = 0; g < groups_->num_groups(); ++g) {
+      group_coverage_[g] += gain[g];
+    }
+  }
+  return gain;
+}
+
+GroupVector RrOracle::MarginalGain(NodeId candidate) {
+  return EvaluateCandidate(candidate, /*commit=*/false);
+}
+
+GroupVector RrOracle::AddSeed(NodeId candidate) {
+  return EvaluateCandidate(candidate, /*commit=*/true);
+}
+
+void RrOracle::Reset() {
+  seeds_.clear();
+  covered_.assign(covered_.size(), 0);
+  group_coverage_.assign(group_coverage_.size(), 0.0);
+}
+
+}  // namespace tcim

@@ -1,0 +1,82 @@
+// RrOracle — the RR-set sketch as a stateful GroupCoverageOracle.
+//
+// Adapts an immutable, shareable RrSketch (sim/rr_sets.h) to the oracle
+// interface the greedy engine, saturate-cover, and SATURATE consume
+// (sim/oracle_interface.h), so every registry solver runs unchanged on
+// sketches. Where the Monte-Carlo oracle pays a τ-bounded BFS per world
+// for each marginal-gain query, this adapter walks the sketch's inverted
+// index instead:
+//
+//   MarginalGain(v) = Σ over uncovered RR sets containing v of the set's
+//                     group weight |V_g| / R_g
+//
+// which is O(|SetsContaining(v)|) = O(Δcover) with no graph traversal at
+// all. AddSeed additionally marks those sets covered. The sketch itself is
+// never mutated — any number of concurrent solves can hold cursors over
+// one cached sketch (api/engine.h), mirroring the WorldEnsemble contract.
+//
+// Estimates agree with the Monte-Carlo oracle in expectation (both are
+// unbiased estimators of f̂_τ(S; V_i); property-tested in
+// tests/rr_agreement_test.cc) but are computed from different randomness,
+// so seed sets can differ within the sketch's ε tolerance.
+
+#ifndef TCIM_SIM_RR_ORACLE_H_
+#define TCIM_SIM_RR_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/groups.h"
+#include "sim/oracle_interface.h"
+#include "sim/rr_sets.h"
+
+namespace tcim {
+
+class RrOracle : public GroupCoverageOracle {
+ public:
+  // Keeps pointers to `graph` and `groups` (must outlive the oracle) and
+  // shares ownership of the sketch. The sketch must have been built from
+  // the same graph/groups.
+  RrOracle(const Graph* graph, const GroupAssignment* groups,
+           std::shared_ptr<const RrSketch> sketch);
+
+  RrOracle(const RrOracle&) = delete;
+  RrOracle& operator=(const RrOracle&) = delete;
+
+  const Graph& graph() const override { return *graph_; }
+  const GroupAssignment& groups() const override { return *groups_; }
+  const RrSketch& sketch() const { return *sketch_; }
+
+  const std::vector<NodeId>& seeds() const override { return seeds_; }
+  const GroupVector& group_coverage() const override {
+    return group_coverage_;
+  }
+
+  // Estimated per-group marginal coverage of `candidate`: the weight of
+  // the not-yet-covered RR sets it belongs to. Does not modify state.
+  GroupVector MarginalGain(NodeId candidate) override;
+
+  // Commits `candidate`, covering its RR sets; returns the realized
+  // per-group marginal coverage.
+  GroupVector AddSeed(NodeId candidate) override;
+
+  void Reset() override;
+
+ private:
+  // Shared walk of MarginalGain (commit=false) and AddSeed (commit=true).
+  GroupVector EvaluateCandidate(NodeId candidate, bool commit);
+
+  const Graph* graph_;
+  const GroupAssignment* groups_;
+  std::shared_ptr<const RrSketch> sketch_;
+
+  std::vector<NodeId> seeds_;
+  std::vector<uint8_t> covered_;  // per RR set, hit by a committed seed
+  GroupVector group_coverage_;
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_SIM_RR_ORACLE_H_

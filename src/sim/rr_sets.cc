@@ -91,6 +91,20 @@ RrSketch::RrSketch(const Graph* graph, const GroupAssignment* groups,
   }
 }
 
+size_t RrSketch::ApproxBytes() const {
+  size_t bytes = set_members_.capacity() * sizeof(std::vector<NodeId>) +
+                 set_root_group_.capacity() * sizeof(GroupId) +
+                 group_weight_.capacity() * sizeof(double) +
+                 sets_containing_.capacity() * sizeof(std::vector<int32_t>);
+  for (const auto& members : set_members_) {
+    bytes += members.capacity() * sizeof(NodeId);
+  }
+  for (const auto& sets : sets_containing_) {
+    bytes += sets.capacity() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
 GroupVector RrSketch::EstimateGroupCoverage(
     const std::vector<NodeId>& seeds) const {
   const int k = num_groups();

@@ -83,10 +83,23 @@ class RrSketch {
   }
   GroupId SetRootGroup(int index) const { return set_root_group_[index]; }
 
- private:
-  // Per-group scaling factor |V_i| / R_i.
+  // RR-set ids whose member list contains `v` — the inverted index behind
+  // both the built-in SelectSeeds* paths and the incremental RrOracle
+  // adapter (sim/rr_oracle.h): a node's marginal coverage is a walk over
+  // exactly these sets.
+  const std::vector<int32_t>& SetsContaining(NodeId v) const {
+    return sets_containing_[v];
+  }
+
+  // Per-group scaling factor |V_i| / R_i: one newly hit set with a root in
+  // group g is worth this many expected influenced nodes.
   double GroupWeight(GroupId g) const { return group_weight_[g]; }
 
+  // Actual heap footprint of the sketch arrays (members + inverted index),
+  // for the Engine's cache byte accounting.
+  size_t ApproxBytes() const;
+
+ private:
   const Graph* graph_;
   const GroupAssignment* groups_;
   RrSketchOptions options_;

@@ -293,6 +293,87 @@ TEST_F(EngineTest, ExplicitThreadCountsSolveIdentically) {
   }
 }
 
+// Satellite: the generalized cache must report per-backend-kind entry
+// counts and bytes, so a mixed worlds/sketches workload is observable.
+TEST_F(EngineTest, CacheStatsSplitWorldsAndSketches) {
+  Engine engine(gg_.graph, gg_.groups);
+  ASSERT_TRUE(engine.Solve(ProblemSpec::Budget(8, kDeadline), options_).ok());
+  CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.world_entries, 2u);
+  EXPECT_EQ(stats.sketch_entries, 0u);
+  EXPECT_GT(stats.ensemble_bytes, 0u);
+  EXPECT_EQ(stats.sketch_bytes, 0u);
+
+  ProblemSpec rr_spec = ProblemSpec::Budget(8, kDeadline);
+  rr_spec.oracle = "rr";
+  SolveOptions rr_options = options_;
+  rr_options.rr_sets_per_group = 500;
+  ASSERT_TRUE(engine.Solve(rr_spec, rr_options).ok());
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.world_entries, 2u);
+  EXPECT_EQ(stats.sketch_entries, 2u);  // selection + evaluation sketches
+  EXPECT_GT(stats.ensemble_bytes, 0u);
+  EXPECT_GT(stats.sketch_bytes, 0u);
+  EXPECT_NE(stats.DebugString().find("sketches=2"), std::string::npos);
+}
+
+TEST_F(EngineTest, WarmRrSolvesHitTheSketchCache) {
+  Engine engine(gg_.graph, gg_.groups);
+  ProblemSpec spec = ProblemSpec::Budget(8, kDeadline);
+  spec.oracle = "rr";
+  SolveOptions rr_options = options_;
+  rr_options.rr_sets_per_group = 800;
+
+  const Result<Solution> first = engine.Solve(spec, rr_options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 2);  // selection + evaluation sketches built
+  EXPECT_EQ(stats.constructions, 2);
+
+  const Result<Solution> second = engine.Solve(spec, rr_options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->seeds, first->seeds);
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 2);  // warm re-solve built nothing
+  EXPECT_EQ(stats.hits, 2);
+
+  // A different sketch size is a different backend.
+  SolveOptions other_size = rr_options;
+  other_size.rr_sets_per_group = 400;
+  ASSERT_TRUE(engine.Solve(spec, other_size).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 4);
+
+  // Sketches are exempt from max_ensemble_bytes (there is no hash-on-the-
+  // fly fallback for them): a zero cap must still materialize and solve
+  // identically.
+  EngineOptions capped_options;
+  capped_options.max_ensemble_bytes = 0;
+  Engine capped(gg_.graph, gg_.groups, capped_options);
+  const Result<Solution> capped_solve = capped.Solve(spec, rr_options);
+  ASSERT_TRUE(capped_solve.ok());
+  EXPECT_EQ(capped_solve->seeds, first->seeds);
+  EXPECT_EQ(capped.cache_stats().constructions, 2);
+  EXPECT_GT(capped.cache_stats().sketch_bytes, 0u);
+}
+
+// Regression: the audit path must not read solver-only spec fields. With
+// adaptive sizing in play, an unvalidated budget (ValidateForEvaluation
+// deliberately skips it) must not reach the IMM sizing and crash —
+// evaluation sketches use the fixed default size instead.
+TEST_F(EngineTest, EvaluateSeedsWithRrOracleIgnoresTheBudgetField) {
+  Engine engine(gg_.graph, gg_.groups);
+  ProblemSpec spec = ProblemSpec::Budget(0, kDeadline);  // solver-only field
+  spec.oracle = "rr";
+  SolveOptions rr_options = options_;
+  rr_options.rr_sets_per_group = 0;  // adaptive — must not apply to audits
+
+  const Result<GroupUtilityReport> report =
+      engine.EvaluateSeeds({0, 5, 17}, spec, rr_options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->total, 0.0);
+}
+
 TEST_F(EngineTest, ArrivalBackendIsCachedToo) {
   Engine engine(gg_.graph, gg_.groups);
   ProblemSpec spec = ProblemSpec::Budget(5, 10);

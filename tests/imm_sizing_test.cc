@@ -1,0 +1,87 @@
+// ComputeAdaptiveSetsPerGroup (sim/imm_sizing.cc): the IMM-style sizing
+// must be a pure function of its inputs (the Engine caches sketches keyed
+// by those inputs, so nondeterminism would split or poison cache entries),
+// must ask for more sets as ε tightens, and must stay within a sane factor
+// of the conservative fixed default on a small instance.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "sim/rr_sets.h"
+
+namespace tcim {
+namespace {
+
+GroupedGraph SmallSbm(uint64_t seed) {
+  Rng rng(seed);
+  SbmParams params;
+  params.num_nodes = 200;
+  return GenerateSbm(params, rng);
+}
+
+TEST(ImmSizingTest, DeterministicUnderAFixedSeed) {
+  const GroupedGraph gg = SmallSbm(41);
+  RrSketchOptions base;
+  base.deadline = 10;
+  base.seed = 0xabcdeull;
+  const int first = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups,
+                                                /*budget=*/10,
+                                                /*epsilon=*/0.4,
+                                                /*delta=*/0.1, base);
+  const int second = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 10, 0.4,
+                                                 0.1, base);
+  EXPECT_EQ(first, second);
+  EXPECT_GE(first, 1);
+}
+
+TEST(ImmSizingTest, MonotonicallyShrinksAsEpsilonLoosens) {
+  const GroupedGraph gg = SmallSbm(43);
+  RrSketchOptions base;
+  base.deadline = 10;
+  int previous = 0;
+  bool first = true;
+  for (const double epsilon : {0.2, 0.35, 0.5, 0.7}) {
+    const int count = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups,
+                                                  /*budget=*/10, epsilon,
+                                                  /*delta=*/0.1, base);
+    ASSERT_GE(count, 1) << "epsilon " << epsilon;
+    if (!first) {
+      // θ scales as 1/ε²; the per-group count must not grow as ε loosens.
+      EXPECT_LE(count, previous) << "epsilon " << epsilon;
+    }
+    previous = count;
+    first = false;
+  }
+}
+
+TEST(ImmSizingTest, StaysWithinASaneFactorOfTheFixedDefault) {
+  const GroupedGraph gg = SmallSbm(47);
+  RrSketchOptions base;
+  base.deadline = 10;
+  const int fixed_default = RrSketchOptions().sets_per_group;
+  const int adaptive = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups,
+                                                   /*budget=*/10,
+                                                   /*epsilon=*/0.5,
+                                                   /*delta=*/0.2, base);
+  // On a 200-node instance at a loose ε the adaptive count must neither
+  // degenerate to nothing nor blow past the conservative fixed default by
+  // more than a small factor (it is usually well below it).
+  EXPECT_GE(adaptive, 1);
+  EXPECT_LE(adaptive, 4 * fixed_default);
+}
+
+TEST(ImmSizingTest, TighterDeltaNeverAsksForFewerSets) {
+  const GroupedGraph gg = SmallSbm(53);
+  RrSketchOptions base;
+  base.deadline = 10;
+  const int confident = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 10,
+                                                    /*epsilon=*/0.4,
+                                                    /*delta=*/0.01, base);
+  const int loose = ComputeAdaptiveSetsPerGroup(gg.graph, gg.groups, 10,
+                                                /*epsilon=*/0.4,
+                                                /*delta=*/0.3, base);
+  EXPECT_GE(confident, loose);
+}
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,146 @@
+// Backend agreement: solving with oracle = "rr" must land within the
+// sketch's ε tolerance of the Monte-Carlo backend on every problem kind it
+// serves. Property-style: each problem is solved under several selection
+// seeds, both backends' seed sets are then re-scored on ONE shared
+// Monte-Carlo evaluation (same worlds, same seed) so the comparison
+// isolates selection quality from estimator noise. Registered under
+// `ctest -L api` (CMakeLists label rule).
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/tcim.h"
+
+namespace tcim {
+namespace {
+
+constexpr int kDeadline = 20;
+
+class RrAgreementTest : public ::testing::Test {
+ protected:
+  RrAgreementTest() : gg_(MakeGraph()), engine_(gg_.graph, gg_.groups) {
+    // Selection fidelity; the shared evaluation below is what is compared.
+    options_.num_worlds = 150;
+    options_.rr_sets_per_group = 4000;
+    options_.evaluate = false;
+  }
+  static GroupedGraph MakeGraph() {
+    Rng rng(7);
+    return datasets::SyntheticDefault(rng);
+  }
+
+  // Both backends' picks scored on one fixed Monte-Carlo world set.
+  GroupVector SharedEvaluation(const std::vector<NodeId>& seeds) {
+    ProblemSpec eval_spec = ProblemSpec::Budget(1, kDeadline);
+    SolveOptions eval_options;
+    eval_options.num_worlds = 400;
+    const Result<GroupUtilityReport> report =
+        engine_.EvaluateSeeds(seeds, eval_spec, eval_options);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report->coverage;
+  }
+
+  Solution MustSolve(ProblemSpec spec, const std::string& oracle,
+                     uint64_t selection_seed) {
+    spec.oracle = oracle;
+    SolveOptions options = options_;
+    options.selection_seed = selection_seed;
+    Result<Solution> solution = engine_.Solve(spec, options);
+    EXPECT_TRUE(solution.ok()) << solution.status().ToString();
+    return std::move(solution).value();
+  }
+
+  GroupedGraph gg_;
+  Engine engine_;
+  SolveOptions options_;
+};
+
+// P1: total influence of the RR pick within tolerance of the MC pick.
+TEST_F(RrAgreementTest, BudgetObjectivesAgree) {
+  for (const uint64_t seed : {0x5e1ec7ull, 0xfeedull, 0x1234ull}) {
+    const ProblemSpec spec = ProblemSpec::Budget(10, kDeadline);
+    const Solution mc = MustSolve(spec, "montecarlo", seed);
+    const Solution rr = MustSolve(spec, "rr", seed);
+    const double mc_total = GroupVectorTotal(SharedEvaluation(mc.seeds));
+    const double rr_total = GroupVectorTotal(SharedEvaluation(rr.seeds));
+    ASSERT_GT(mc_total, 0.0);
+    // Both maximize the same submodular objective from unbiased estimates;
+    // disagreement beyond the estimator tolerance means a broken adapter.
+    EXPECT_NEAR(rr_total, mc_total, 0.15 * mc_total) << "seed " << seed;
+  }
+}
+
+// P4: the concave-fair objective of both picks agrees on shared worlds.
+TEST_F(RrAgreementTest, FairBudgetObjectivesAgree) {
+  for (const uint64_t seed : {0x5e1ec7ull, 0xfeedull, 0x1234ull}) {
+    const ProblemSpec spec = ProblemSpec::FairBudget(10, kDeadline);
+    const Solution mc = MustSolve(spec, "montecarlo", seed);
+    const Solution rr = MustSolve(spec, "rr", seed);
+    const auto objective = [&](const std::vector<NodeId>& seeds) {
+      return internal::BudgetObjectiveValue(spec, gg_.groups,
+                                            SharedEvaluation(seeds));
+    };
+    const double mc_value = objective(mc.seeds);
+    const double rr_value = objective(rr.seeds);
+    ASSERT_GT(mc_value, 0.0);
+    EXPECT_NEAR(rr_value, mc_value, 0.15 * mc_value) << "seed " << seed;
+  }
+}
+
+// P6: the RR pick reaches (close to) the per-group quota on shared worlds
+// whenever the MC pick does, without exploding the seed count.
+TEST_F(RrAgreementTest, FairCoverQuotasAgree) {
+  const double quota = 0.12;
+  for (const uint64_t seed : {0x5e1ec7ull, 0xfeedull, 0x1234ull}) {
+    const ProblemSpec spec = ProblemSpec::FairCover(quota, kDeadline);
+    const Solution mc = MustSolve(spec, "montecarlo", seed);
+    const Solution rr = MustSolve(spec, "rr", seed);
+    EXPECT_TRUE(rr.target_reached) << "seed " << seed;
+
+    const auto min_normalized = [&](const std::vector<NodeId>& seeds) {
+      const GroupVector coverage = SharedEvaluation(seeds);
+      double worst = 1.0;
+      for (GroupId g = 0; g < gg_.groups.num_groups(); ++g) {
+        worst = std::min(worst, coverage[g] / gg_.groups.GroupSize(g));
+      }
+      return worst;
+    };
+    const double mc_worst = min_normalized(mc.seeds);
+    const double rr_worst = min_normalized(rr.seeds);
+    // Same tolerance band for both: cover solutions overfit their own
+    // estimator, so compare the two re-scored minima against each other.
+    EXPECT_NEAR(rr_worst, mc_worst, 0.05) << "seed " << seed;
+    // And the sketch must not need wildly more seeds to get there.
+    EXPECT_LE(rr.seeds.size(), 2 * mc.seeds.size() + 5) << "seed " << seed;
+  }
+}
+
+// The rr_select fast path optimizes the same estimated objective as the
+// generic greedy adapter on the same sketch.
+TEST_F(RrAgreementTest, RrSelectFastPathAgreesWithGreedyAdapter) {
+  ProblemSpec spec = ProblemSpec::Budget(10, kDeadline);
+  spec.oracle = "rr";
+  const Result<Solution> greedy = engine_.Solve(spec, options_);
+  spec.solver = "rr_select";
+  const Result<Solution> fast = engine_.Solve(spec, options_);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  // Same sketch, same objective; only tie-breaking may differ.
+  EXPECT_NEAR(fast->objective_value, greedy->objective_value,
+              1e-6 * std::max(1.0, greedy->objective_value));
+}
+
+// rr_select without the rr oracle is a precise InvalidArgument, not UB.
+TEST_F(RrAgreementTest, RrSelectRequiresTheRrOracle) {
+  ProblemSpec spec = ProblemSpec::Budget(10, kDeadline);
+  spec.solver = "rr_select";  // oracle left at "montecarlo"
+  const Result<Solution> solution = engine_.Solve(spec, options_);
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(solution.status().message().find("rr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcim
