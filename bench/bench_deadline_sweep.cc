@@ -1,0 +1,155 @@
+// Deadline-sweep bench: what does one deadline-parametric backend build
+// buy on the paper's fig04c sweep shape (τ ∈ {1,2,5,10,20,∞})?
+//
+//   * "cold x6" — six independent cold solves, one fresh Engine per
+//     deadline: every τ samples its own backend, the pre-sweep state of
+//     the world;
+//   * "sweep"  — one Engine::SolveSweep over all six deadlines: ONE
+//     backend construction per kind, every τ' answered by deadline
+//     filtering at query time.
+//
+// Run for both the "montecarlo" and "rr" oracles (selection only,
+// evaluate=false, so the CacheStats story is exactly one construction per
+// kind). The acceptance bar — enforced with a nonzero exit so CI can
+// smoke-run this next to bench_rr_backend — is a >= 2x wall-clock speedup
+// of the warm sweep over the six cold solves for BOTH oracles, plus
+// constructions == 1 per backend kind used.
+//
+// Overrides: --worlds=N (default 200), --rr-sets=N (default 2000),
+// --budget=N (default 20), --repeats=N (default 3, best-of timing).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/tcim.h"
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/stopwatch.h"
+
+namespace tcim {
+namespace {
+
+const std::vector<int> kDeadlines = {1, 2, 5, 10, 20, kNoDeadline};
+
+void DieOnError(const Result<Solution>& solution) {
+  if (!solution.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solution.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+struct SweepTiming {
+  double cold_seconds = 0.0;   // six independent cold solves
+  double sweep_seconds = 0.0;  // one SolveSweep over all six deadlines
+  int64_t sweep_constructions = 0;  // per-kind delta of the sweep
+};
+
+SweepTiming RunOracle(const GroupedGraph& gg, const std::string& oracle,
+                      const SolveOptions& options, int budget, int repeats) {
+  ProblemSpec spec = ProblemSpec::Budget(budget, 0);
+  spec.oracle = oracle;
+
+  SweepTiming timing;
+  timing.cold_seconds = 1e100;
+  timing.sweep_seconds = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    // Cold x6: a fresh Engine per deadline so nothing is shared.
+    Stopwatch cold_watch;
+    for (const int deadline : kDeadlines) {
+      Engine engine(gg.graph, gg.groups);
+      spec.deadline = deadline;
+      DieOnError(engine.Solve(spec, options));
+    }
+    timing.cold_seconds = std::min(timing.cold_seconds,
+                                   cold_watch.ElapsedSeconds());
+
+    // Sweep: one Engine, one build per backend kind.
+    Engine engine(gg.graph, gg.groups);
+    Stopwatch sweep_watch;
+    const Engine::SweepResult sweep = engine.SolveSweep(spec, kDeadlines,
+                                                        options);
+    timing.sweep_seconds = std::min(timing.sweep_seconds,
+                                    sweep_watch.ElapsedSeconds());
+    for (const Result<Solution>& solution : sweep.solutions) {
+      DieOnError(solution);
+    }
+    timing.sweep_constructions =
+        oracle == "rr"
+            ? sweep.after.sketch_constructions - sweep.before.sketch_constructions
+            : sweep.after.world_constructions - sweep.before.world_constructions;
+    if (r == 0) {
+      std::printf("  %-10s sweep cache: %s\n", oracle.c_str(),
+                  sweep.after.DebugString().c_str());
+    }
+  }
+  std::printf("  %-10s cold x6 %.4fs   sweep %.4fs   speedup %.2fx   "
+              "constructions/kind %lld\n",
+              oracle.c_str(), timing.cold_seconds, timing.sweep_seconds,
+              timing.cold_seconds / timing.sweep_seconds,
+              static_cast<long long>(timing.sweep_constructions));
+  return timing;
+}
+
+int Run(int argc, char** argv) {
+  bench::PrintBanner("Deadline sweep",
+                     "fig04c shape (tau in {1,2,5,10,20,inf}): one "
+                     "deadline-parametric build vs six cold solves");
+  const int worlds = bench::IntFlag(argc, argv, "worlds", 200);
+  const int rr_sets = bench::IntFlag(argc, argv, "rr-sets", 2000);
+  const int budget = bench::IntFlag(argc, argv, "budget", 20);
+  const int repeats = bench::IntFlag(argc, argv, "repeats", 3);
+
+  Rng rng(4242);
+  const GroupedGraph gg = datasets::SyntheticDefault(rng);
+  std::printf("graph: %s, worlds=%d, rr_sets_per_group=%d, budget=%d, "
+              "repeats=%d (best-of)\n\n",
+              gg.graph.DebugString().c_str(), worlds, rr_sets, budget,
+              repeats);
+
+  SolveOptions options;
+  options.num_worlds = worlds;
+  options.rr_sets_per_group = rr_sets;
+  // Selection only: the sweep's CacheStats story is then exactly one
+  // construction per backend kind (evaluation would add the independent
+  // fresh-world backend, one more per kind — not one more per tau).
+  options.evaluate = false;
+
+  CsvWriter csv({"oracle", "cold_x6_seconds", "sweep_seconds", "speedup",
+                 "sweep_constructions_per_kind"});
+  bool ok = true;
+  for (const std::string oracle : {"montecarlo", "rr"}) {
+    const SweepTiming timing = RunOracle(gg, oracle, options, budget, repeats);
+    const double speedup = timing.cold_seconds / timing.sweep_seconds;
+    csv.AddRow({oracle, FormatDouble(timing.cold_seconds, 6),
+                FormatDouble(timing.sweep_seconds, 6),
+                FormatDouble(speedup, 3),
+                StrFormat("%lld", static_cast<long long>(
+                                      timing.sweep_constructions))});
+    if (timing.sweep_constructions != 1) {
+      std::printf("ERROR: %s sweep materialized %lld backends, expected 1\n",
+                  oracle.c_str(),
+                  static_cast<long long>(timing.sweep_constructions));
+      ok = false;
+    }
+    if (speedup < 2.0) {
+      std::printf("ERROR: %s sweep speedup %.2fx is below the 2x acceptance "
+                  "bar\n",
+                  oracle.c_str(), speedup);
+      ok = false;
+    }
+  }
+  bench::WriteCsv(csv, "deadline_sweep.csv");
+  if (ok) {
+    std::printf("\nboth oracles answer the 6-deadline sweep off one cached "
+                "build at >= 2x the six-cold-solve cost\n");
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tcim
+
+int main(int argc, char** argv) { return tcim::Run(argc, argv); }

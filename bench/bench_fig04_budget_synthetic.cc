@@ -8,8 +8,11 @@
 // and 30% minority (group 2); P4 closes the gap at marginal total cost; the
 // gap grows with B and is non-monotone-then-plateauing in τ.
 //
-// Runs entirely through the tcim::Solve() facade: each variant is one
-// ProblemSpec, prefixes are re-evaluated with EvaluateSeeds().
+// Runs entirely through the facade, on ONE shared tcim::Engine: each
+// variant is one ProblemSpec, prefixes are re-evaluated with
+// EvaluateSeeds(), and the 4c deadline sweep goes through
+// Engine::SolveSweep — world backends are deadline-parametric, so the
+// whole figure samples its selection and evaluation worlds exactly once.
 
 #include <cstdio>
 #include <vector>
@@ -27,7 +30,7 @@ const GroupUtilityReport& Report(const Result<Solution>& solution) {
   return *solution->evaluation;
 }
 
-void RunFig4a(const GroupedGraph& gg, const SolveOptions& options, int budget) {
+void RunFig4a(Engine& engine, const SolveOptions& options, int budget) {
   TablePrinter table("Fig 4a: total and group influence (tau=20, B=30)",
                      {"algorithm", "total", "group1", "group2", "disparity"});
   CsvWriter csv({"algorithm", "total", "group1", "group2", "disparity"});
@@ -41,8 +44,7 @@ void RunFig4a(const GroupedGraph& gg, const SolveOptions& options, int budget) {
         Row{"P4-Log", ProblemSpec::FairBudget(budget, 20)},
         Row{"P4-Sqrt",
             ProblemSpec::FairBudget(budget, 20, ConcaveFunction::Sqrt())}}) {
-    const Result<Solution> solution =
-        Solve(gg.graph, gg.groups, row.spec, options);
+    const Result<Solution> solution = engine.Solve(row.spec, options);
     std::vector<std::string> cells = {row.name};
     for (const std::string& cell : bench::ReportCells(Report(solution))) {
       cells.push_back(cell);
@@ -54,8 +56,7 @@ void RunFig4a(const GroupedGraph& gg, const SolveOptions& options, int budget) {
   bench::WriteCsv(csv, "fig04a_h_variants.csv");
 }
 
-void RunFig4b(const GroupedGraph& gg, const SolveOptions& options,
-              int max_budget) {
+void RunFig4b(Engine& engine, const SolveOptions& options, int max_budget) {
   TablePrinter table("Fig 4b: influence vs seed budget B",
                      {"B", "P1 total", "P1 g1", "P1 g2", "P4 total", "P4 g1",
                       "P4 g2"});
@@ -65,8 +66,8 @@ void RunFig4b(const GroupedGraph& gg, const SolveOptions& options,
   // nested, so the sweep evaluates prefixes on the fresh evaluation worlds.
   const ProblemSpec p1_spec = ProblemSpec::Budget(max_budget, 20);
   const ProblemSpec p4_spec = ProblemSpec::FairBudget(max_budget, 20);
-  const Result<Solution> p1 = Solve(gg.graph, gg.groups, p1_spec, options);
-  const Result<Solution> p4 = Solve(gg.graph, gg.groups, p4_spec, options);
+  const Result<Solution> p1 = engine.Solve(p1_spec, options);
+  const Result<Solution> p4 = engine.Solve(p4_spec, options);
 
   for (int budget = 5; budget <= max_budget; budget += 5) {
     const std::vector<NodeId> p1_prefix(p1->seeds.begin(),
@@ -74,9 +75,9 @@ void RunFig4b(const GroupedGraph& gg, const SolveOptions& options,
     const std::vector<NodeId> p4_prefix(p4->seeds.begin(),
                                         p4->seeds.begin() + budget);
     const Result<GroupUtilityReport> p1_report =
-        EvaluateSeeds(gg.graph, gg.groups, p1_prefix, p1_spec, options);
+        engine.EvaluateSeeds(p1_prefix, p1_spec, options);
     const Result<GroupUtilityReport> p4_report =
-        EvaluateSeeds(gg.graph, gg.groups, p4_prefix, p4_spec, options);
+        engine.EvaluateSeeds(p4_prefix, p4_spec, options);
     table.AddRow({StrFormat("%d", budget),
                   FormatDouble(p1_report->total_fraction, 4),
                   FormatDouble(p1_report->normalized[0], 4),
@@ -99,26 +100,29 @@ void RunFig4b(const GroupedGraph& gg, const SolveOptions& options,
   bench::WriteCsv(csv, "fig04b_budget_sweep.csv");
 }
 
-void RunFig4c(const GroupedGraph& gg, const SolveOptions& options, int budget) {
+void RunFig4c(Engine& engine, const SolveOptions& options, int budget) {
   TablePrinter table("Fig 4c: disparity vs time deadline tau",
                      {"tau", "P1 disparity", "P4 disparity"});
   CsvWriter csv({"tau", "method", "disparity", "total"});
 
-  for (const int deadline : {1, 2, 5, 10, 20, kNoDeadline}) {
-    const Result<Solution> p1 = Solve(
-        gg.graph, gg.groups, ProblemSpec::Budget(budget, deadline), options);
-    const Result<Solution> p4 =
-        Solve(gg.graph, gg.groups, ProblemSpec::FairBudget(budget, deadline),
-              options);
-    table.AddRow({bench::FormatTau(deadline),
-                  FormatDouble(Report(p1).disparity, 4),
-                  FormatDouble(Report(p4).disparity, 4)});
-    csv.AddRow({bench::FormatTau(deadline), "P1",
-                FormatDouble(Report(p1).disparity, 4),
-                FormatDouble(Report(p1).total_fraction, 4)});
-    csv.AddRow({bench::FormatTau(deadline), "P4-log",
-                FormatDouble(Report(p4).disparity, 4),
-                FormatDouble(Report(p4).total_fraction, 4)});
+  // One SolveSweep per method: every deadline answered off the same cached
+  // world ensemble instead of six fresh Monte-Carlo samplings.
+  const std::vector<int> deadlines = {1, 2, 5, 10, 20, kNoDeadline};
+  const Engine::SweepResult p1 =
+      engine.SolveSweep(ProblemSpec::Budget(budget, 0), deadlines, options);
+  const Engine::SweepResult p4 = engine.SolveSweep(
+      ProblemSpec::FairBudget(budget, 0), deadlines, options);
+
+  for (size_t i = 0; i < deadlines.size(); ++i) {
+    table.AddRow({bench::FormatTau(deadlines[i]),
+                  FormatDouble(Report(p1.solutions[i]).disparity, 4),
+                  FormatDouble(Report(p4.solutions[i]).disparity, 4)});
+    csv.AddRow({bench::FormatTau(deadlines[i]), "P1",
+                FormatDouble(Report(p1.solutions[i]).disparity, 4),
+                FormatDouble(Report(p1.solutions[i]).total_fraction, 4)});
+    csv.AddRow({bench::FormatTau(deadlines[i]), "P4-log",
+                FormatDouble(Report(p4.solutions[i]).disparity, 4),
+                FormatDouble(Report(p4.solutions[i]).total_fraction, 4)});
   }
   table.Print();
   bench::WriteCsv(csv, "fig04c_deadline_sweep.csv");
@@ -139,11 +143,18 @@ void Run(int argc, char** argv) {
   SolveOptions options;
   options.num_worlds = worlds;
 
+  // One Engine serves the whole figure: its world backends are deadline-
+  // parametric, so 4a/4b/4c all run on one (selection, evaluation) pair of
+  // sampled world sets.
+  Engine engine(gg.graph, gg.groups);
+
   Stopwatch watch;
-  RunFig4a(gg, options, budget);
-  RunFig4b(gg, options, budget);
-  RunFig4c(gg, options, budget);
-  std::printf("[time] figure 4 total: %.1fs\n", watch.ElapsedSeconds());
+  RunFig4a(engine, options, budget);
+  RunFig4b(engine, options, budget);
+  RunFig4c(engine, options, budget);
+  std::printf("[time] figure 4 total: %.1fs (cache: %s)\n",
+              watch.ElapsedSeconds(),
+              engine.cache_stats().DebugString().c_str());
 }
 
 }  // namespace

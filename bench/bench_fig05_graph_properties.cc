@@ -8,13 +8,17 @@
 //
 // Expected shape: lower pe, more imbalance, and more cliquishness all raise
 // P1's disparity; P4 stays near parity throughout.
+//
+// Runs through the tcim::Engine facade (one Engine per generated graph);
+// the 5a deadline dimension goes through Engine::SolveSweep, so both taus
+// of a pe point share one sampled world set.
 
 #include <cstdio>
 #include <vector>
 
+#include "api/tcim.h"
 #include "bench/bench_util.h"
 #include "common/csv.h"
-#include "core/experiment.h"
 #include "graph/generators.h"
 
 namespace tcim {
@@ -25,13 +29,19 @@ struct MethodPair {
   GroupUtilityReport p4;
 };
 
-MethodPair SolveBoth(const GroupedGraph& gg, const ExperimentConfig& config,
-                     int budget) {
-  const ConcaveFunction log_h = ConcaveFunction::Log();
+// Solves P1 and P4-log on (graph, groups) at `deadline` and returns the
+// fresh-world evaluation reports — the facade equivalent of the legacy
+// RunBudgetExperiment pair (seed-for-seed identical since PR 1).
+MethodPair SolveBoth(Engine& engine, int worlds, int deadline, int budget) {
+  SolveOptions options;
+  options.num_worlds = worlds;
+  const Result<Solution> p1 =
+      engine.Solve(ProblemSpec::Budget(budget, deadline), options);
+  const Result<Solution> p4 =
+      engine.Solve(ProblemSpec::FairBudget(budget, deadline), options);
   MethodPair pair;
-  pair.p1 = RunBudgetExperiment(gg.graph, gg.groups, config, budget).report;
-  pair.p4 =
-      RunBudgetExperiment(gg.graph, gg.groups, config, budget, &log_h).report;
+  pair.p1 = *p1->evaluation;
+  pair.p4 = *p4->evaluation;
   return pair;
 }
 
@@ -41,26 +51,34 @@ void RunFig5a(int worlds, int budget) {
       {"pe", "P1 tau=2", "P4 tau=2", "P1 tau=inf", "P4 tau=inf"});
   CsvWriter csv({"pe", "tau", "method", "disparity", "total"});
 
+  const std::vector<int> deadlines = {2, kNoDeadline};
   for (const double pe : {0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0}) {
     Rng rng(5100);  // same structure across pe values, only weights change
     SbmParams params;
     params.activation_probability = pe;
     const GroupedGraph gg = GenerateSbm(params, rng);
+    Engine engine(gg.graph, gg.groups);
+    SolveOptions options;
+    options.num_worlds = worlds;
+
+    // Both taus of each method off one world build (SolveSweep).
+    const Engine::SweepResult p1 =
+        engine.SolveSweep(ProblemSpec::Budget(budget, 0), deadlines, options);
+    const Engine::SweepResult p4 = engine.SolveSweep(
+        ProblemSpec::FairBudget(budget, 0), deadlines, options);
 
     std::vector<std::string> cells = {FormatDouble(pe, 2)};
-    for (const int deadline : {2, kNoDeadline}) {
-      ExperimentConfig config;
-      config.deadline = deadline;
-      config.num_worlds = worlds;
-      const MethodPair pair = SolveBoth(gg, config, budget);
-      cells.push_back(FormatDouble(pair.p1.disparity, 4));
-      cells.push_back(FormatDouble(pair.p4.disparity, 4));
-      csv.AddRow({FormatDouble(pe, 2), bench::FormatTau(deadline), "P1",
-                  FormatDouble(pair.p1.disparity, 4),
-                  FormatDouble(pair.p1.total_fraction, 4)});
-      csv.AddRow({FormatDouble(pe, 2), bench::FormatTau(deadline), "P4-log",
-                  FormatDouble(pair.p4.disparity, 4),
-                  FormatDouble(pair.p4.total_fraction, 4)});
+    for (size_t i = 0; i < deadlines.size(); ++i) {
+      const GroupUtilityReport& p1_report = *p1.solutions[i]->evaluation;
+      const GroupUtilityReport& p4_report = *p4.solutions[i]->evaluation;
+      cells.push_back(FormatDouble(p1_report.disparity, 4));
+      cells.push_back(FormatDouble(p4_report.disparity, 4));
+      csv.AddRow({FormatDouble(pe, 2), bench::FormatTau(deadlines[i]), "P1",
+                  FormatDouble(p1_report.disparity, 4),
+                  FormatDouble(p1_report.total_fraction, 4)});
+      csv.AddRow({FormatDouble(pe, 2), bench::FormatTau(deadlines[i]),
+                  "P4-log", FormatDouble(p4_report.disparity, 4),
+                  FormatDouble(p4_report.total_fraction, 4)});
     }
     table.AddRow(cells);
   }
@@ -78,10 +96,8 @@ void RunFig5b(int worlds, int budget) {
     SbmParams params;
     params.majority_fraction = g;
     const GroupedGraph gg = GenerateSbm(params, rng);
-    ExperimentConfig config;
-    config.deadline = 20;
-    config.num_worlds = worlds;
-    const MethodPair pair = SolveBoth(gg, config, budget);
+    Engine engine(gg.graph, gg.groups);
+    const MethodPair pair = SolveBoth(engine, worlds, /*deadline=*/20, budget);
     const std::string ratio =
         StrFormat("%d:%d", static_cast<int>(g * 100),
                   static_cast<int>((1 - g) * 100 + 0.5));
@@ -110,10 +126,8 @@ void RunFig5c(int worlds, int budget) {
     params.p_hom = p_hom;
     params.p_het = p_het;
     const GroupedGraph gg = GenerateSbm(params, rng);
-    ExperimentConfig config;
-    config.deadline = 20;
-    config.num_worlds = worlds;
-    const MethodPair pair = SolveBoth(gg, config, budget);
+    Engine engine(gg.graph, gg.groups);
+    const MethodPair pair = SolveBoth(engine, worlds, /*deadline=*/20, budget);
     table.AddRow({StrFormat("%s:%s", FormatDouble(p_het, 3).c_str(),
                             FormatDouble(p_hom, 3).c_str()),
                   FormatDouble(pair.p1.disparity, 4),

@@ -25,6 +25,10 @@
 //   # RR-set (IMM) backend: sketch sized adaptively for a (1-1/e-ε)
 //   # guarantee; warm repeats reuse the cached sketch
 //   tcim_cli --problem=budget --oracle=rr --epsilon=0.2 --repeat=3
+//
+//   # deadline sweep (the paper's fig04c shape): every tau answered off
+//   # ONE cached backend build per kind
+//   tcim_cli --problem=budget --deadlines=1,2,5,10,20,inf
 
 #include <cstdio>
 #include <optional>
@@ -79,6 +83,12 @@ int main(int argc, char** argv) {
   flags.AddInt("repeat", 1,
                "solve the spec this many times through one Engine "
                "(repeats after the first hit the warm backend cache)");
+  flags.AddString("deadlines", "",
+                  "solve a deadline sweep instead of one deadline: "
+                  "comma-separated taus, e.g. 1,2,5,10,20,inf (overrides "
+                  "--tau; deadline-parametric backends are shared across "
+                  "taus — adaptive rr sizing still rebuilds per tau unless "
+                  "--rr-sets is pinned)");
   flags.AddInt("seed", 42, "random seed for the synthetic generator");
   flags.AddString("seeds-out", "", "write selected seeds to this file");
   flags.AddBool("list_solvers", false, "print the solver registry and exit");
@@ -184,6 +194,70 @@ int main(int argc, char** argv) {
                   groups->GroupSize(g), report->normalized[g]);
     }
     return WriteSeedsIfRequested(flags, *seeds) ? 0 : 1;
+  }
+
+  // --- Deadline-sweep mode: all taus off one backend build per kind. --------
+  if (!flags.GetString("deadlines").empty()) {
+    if (!flags.GetString("seeds-out").empty()) {
+      std::fprintf(stderr,
+                   "error: --seeds-out is ambiguous with --deadlines (one "
+                   "seed set per tau); run a single --tau solve instead\n");
+      return 2;
+    }
+    const Result<std::vector<int>> deadlines =
+        ParseDeadlineList(flags.GetString("deadlines"));
+    if (!deadlines.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   deadlines.status().ToString().c_str());
+      return 2;
+    }
+    Engine engine(graph, *groups);
+    Stopwatch watch;
+    const Engine::SweepResult sweep = engine.SolveSweep(spec, *deadlines,
+                                                        options);
+    const double seconds = watch.ElapsedSeconds();
+
+    std::printf("\ndeadline sweep (%zu taus, %.4fs):\n", deadlines->size(),
+                seconds);
+    std::printf("  %-6s %-8s %-10s %-10s %s\n", "tau", "seeds", "objective",
+                "disparity", "total_fraction");
+    for (size_t i = 0; i < sweep.solutions.size(); ++i) {
+      const std::string tau = sweep.deadlines[i] >= kNoDeadline
+                                  ? "inf"
+                                  : StrFormat("%d", sweep.deadlines[i]);
+      if (!sweep.solutions[i].ok()) {
+        std::printf("  %-6s error: %s\n", tau.c_str(),
+                    sweep.solutions[i].status().ToString().c_str());
+        continue;
+      }
+      const Solution& solution = *sweep.solutions[i];
+      std::printf("  %-6s %-8zu %-10s %-10s %s\n", tau.c_str(),
+                  solution.seeds.size(),
+                  FormatDouble(solution.objective_value, 4).c_str(),
+                  solution.evaluation
+                      ? FormatDouble(solution.evaluation->disparity, 4).c_str()
+                      : "-",
+                  solution.evaluation
+                      ? FormatDouble(solution.evaluation->total_fraction, 4)
+                            .c_str()
+                      : "-");
+    }
+    std::printf("cache: %s\n", sweep.after.DebugString().c_str());
+    const long long world_builds =
+        sweep.after.world_constructions - sweep.before.world_constructions;
+    const long long sketch_builds =
+        sweep.after.sketch_constructions - sweep.before.sketch_constructions;
+    std::printf("this sweep materialized %lld world / %lld sketch "
+                "backend(s)%s\n",
+                world_builds, sketch_builds,
+                sketch_builds > 2
+                    ? " (adaptive rr sizing rebuilds per tau; pin --rr-sets "
+                      "for one build per selection/evaluation role)"
+                    : "");
+    for (const auto& solution : sweep.solutions) {
+      if (!solution.ok()) return 1;
+    }
+    return 0;
   }
 
   // --- Solve through a (reusable) Engine. -----------------------------------

@@ -1,5 +1,6 @@
 #include "api/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <utility>
@@ -16,17 +17,18 @@ namespace tcim {
 namespace {
 
 // The world-backend identity: specs agreeing on every field here can share
-// one sampled world set. The arrival backend additionally samples per-edge
-// transmission delays, so its delay distribution joins the key (the delay
-// seed is derived from `seed`, which is already included). The deadline is
-// part of the key for both backends — for montecarlo that is slightly
-// conservative (its liveness coins are deadline-independent), but it keeps
-// one key scheme across backends and makes a cache entry self-describing.
+// one sampled world set. The deadline is canonicalized OUT of the key —
+// liveness coins are deadline-independent and delays are stored uncapped,
+// so the ensemble is deadline-parametric and every oracle cursor applies
+// its own τ' at query time. That also drops the oracle kind from the key:
+// a unit-delay ensemble serves montecarlo and unit-delay arrival alike.
+// The geometric-delay arrival backend materializes different per-edge
+// delays, so its meeting probability joins the key (the delay seed is
+// derived from `seed`, which is already included).
 std::string BackendKey(const ProblemSpec& spec, int num_worlds,
                        uint64_t seed) {
   std::string key = StrFormat(
-      "%s|%s|tau=%d|R=%d|seed=%llu", spec.oracle.c_str(),
-      DiffusionModelName(spec.model), spec.deadline, num_worlds,
+      "worlds|%s|R=%d|seed=%llu", DiffusionModelName(spec.model), num_worlds,
       static_cast<unsigned long long>(seed));
   if (spec.oracle == "arrival" && spec.meeting_probability < 1.0) {
     // Exact bit pattern, not a decimal rendering: two specs whose meeting
@@ -37,6 +39,30 @@ std::string BackendKey(const ProblemSpec& spec, int num_worlds,
     key += StrFormat("|m=%llx", static_cast<unsigned long long>(bits));
   }
   return key;
+}
+
+// The deadline an RR sketch is BUILT at. Fixed-size sketches: the spec's
+// deadline (floored by SolveOptions::min_backend_deadline, which
+// SolveSweep raises to the sweep's maximum) rounded up to the next power
+// of two — one cached build per class serves every smaller deadline
+// exactly via hop filtering (sim/rr_sets.h), so a τ=5 query and a τ=7
+// query share the τ=8 build. Adaptively-sized (IMM) sketches build at the
+// spec's EXACT deadline instead: the (1−1/e−ε, δ) guarantee sizes θ
+// against OPT at the deadline actually queried, and OPT only grows with
+// the deadline, so sizing at a deeper class could undersize the sketch
+// for the real τ. (Their keys are already spec-specific through the IMM
+// inputs, so class sharing bought them little anyway.)
+int SketchBuildDeadline(const ProblemSpec& spec, const SolveOptions& options,
+                        bool adaptive) {
+  if (adaptive) return std::min(spec.deadline, kNoDeadline);
+  int deadline = spec.deadline;
+  if (options.min_backend_deadline > deadline) {
+    deadline = options.min_backend_deadline;
+  }
+  if (deadline >= kNoDeadline) return kNoDeadline;
+  int cls = 1;
+  while (cls < deadline) cls <<= 1;
+  return cls;
 }
 
 // The caller-determined sets-per-group count, or 0 when the IMM adaptive
@@ -59,15 +85,16 @@ int ResolvedFixedSetsPerGroup(const ProblemSpec& spec,
 }
 
 // The sketch-backend identity. A fixed-size sketch is reusable by any spec
-// agreeing on (model, deadline, count, seed); an adaptively-sized one also
-// depends on the IMM inputs (budget, ε, δ), which therefore join the key.
-// ε and δ enter as exact bit patterns for the same reason as the arrival
-// backend's meeting probability above.
+// agreeing on (model, max-τ class, count, seed); an adaptively-sized one
+// also depends on the IMM inputs (budget, ε, δ), which therefore join the
+// key. ε and δ enter as exact bit patterns for the same reason as the
+// arrival backend's meeting probability above.
 std::string SketchKey(const ProblemSpec& spec, const SolveOptions& options,
                       uint64_t seed, bool evaluation) {
-  std::string key = StrFormat("rr|%s|tau=%d|", DiffusionModelName(spec.model),
-                              spec.deadline);
   const int fixed = ResolvedFixedSetsPerGroup(spec, options, evaluation);
+  std::string key =
+      StrFormat("rr|%s|tauclass=%d|", DiffusionModelName(spec.model),
+                SketchBuildDeadline(spec, options, /*adaptive=*/fixed == 0));
   if (fixed > 0) {
     key += StrFormat("spg=%d", fixed);
   } else {
@@ -98,11 +125,14 @@ Status ValidateSeedSet(const Graph& graph, const std::vector<NodeId>& seeds) {
 
 std::string CacheStats::DebugString() const {
   return StrFormat(
-      "hits=%lld misses=%lld constructions=%lld evictions=%lld "
-      "invalidations=%lld entries=%zu (worlds=%zu sketches=%zu) "
-      "ensemble_bytes=%zu sketch_bytes=%zu",
+      "hits=%lld misses=%lld constructions=%lld (worlds=%lld sketches=%lld) "
+      "evictions=%lld invalidations=%lld entries=%zu (worlds=%zu "
+      "sketches=%zu) ensemble_bytes=%zu sketch_bytes=%zu",
       static_cast<long long>(hits), static_cast<long long>(misses),
-      static_cast<long long>(constructions), static_cast<long long>(evictions),
+      static_cast<long long>(constructions),
+      static_cast<long long>(world_constructions),
+      static_cast<long long>(sketch_constructions),
+      static_cast<long long>(evictions),
       static_cast<long long>(invalidations), entries, world_entries,
       sketch_entries, ensemble_bytes, sketch_bytes);
 }
@@ -177,6 +207,9 @@ std::shared_future<Engine::BackendValue> Engine::AcquireBackend(
     // requester of one key wait on a single construction instead of
     // sampling duplicate backends.
     try {
+      if (options_.backend_build_hook_for_test) {
+        options_.backend_build_hook_for_test();
+      }
       promise.set_value(build());
     } catch (...) {
       // A failed build (e.g. bad_alloc on an oversized sketch) must not
@@ -212,19 +245,16 @@ std::shared_ptr<const WorldEnsemble> Engine::AcquireEnsemble(
       ensemble_options.model = spec.model;
       ensemble_options.seed = seed;
       ensemble_options.pool = &build_pool;
-      if (spec.oracle == "arrival") {
-        ensemble_options.delays =
-            spec.meeting_probability >= 1.0
-                ? DelaySampler::Unit()
-                : DelaySampler::Geometric(spec.meeting_probability,
-                                          seed ^ 0xd31a5ull);
-        // Exact for any horizon-bounded traversal of this backend: delays
-        // beyond deadline + 1 are indistinguishable from it.
-        ensemble_options.delay_cap = spec.deadline + 1;
+      if (spec.oracle == "arrival" && spec.meeting_probability < 1.0) {
+        ensemble_options.delays = DelaySampler::Geometric(
+            spec.meeting_probability, seed ^ 0xd31a5ull);
       }
+      // Delays stay uncapped (the default), so the ensemble is exact for
+      // EVERY deadline — that is what lets the key drop the deadline.
       built = std::make_shared<const WorldEnsemble>(&graph_, ensemble_options);
       std::lock_guard<std::mutex> lock(cache_mutex_);
       ++stats_.constructions;
+      ++stats_.world_constructions;
     }
     return built;
   };
@@ -237,12 +267,13 @@ std::shared_ptr<const RrSketch> Engine::AcquireSketch(
     bool evaluation, ThreadPool& build_pool) {
   const std::string key = SketchKey(spec, options, seed, evaluation);
   const auto build = [&]() -> BackendValue {
+    int per_group = ResolvedFixedSetsPerGroup(spec, options, evaluation);
     RrSketchOptions sketch_options;
     sketch_options.model = spec.model;
-    sketch_options.deadline = spec.deadline;
+    sketch_options.deadline =
+        SketchBuildDeadline(spec, options, /*adaptive=*/per_group == 0);
     sketch_options.seed = seed;
     sketch_options.pool = &build_pool;
-    int per_group = ResolvedFixedSetsPerGroup(spec, options, evaluation);
     if (per_group == 0) {
       // IMM adaptive sizing, paid once per cache residency of this key;
       // warm solves of the same (budget, ε, δ) shape reuse the result.
@@ -255,6 +286,7 @@ std::shared_ptr<const RrSketch> Engine::AcquireSketch(
         std::make_shared<const RrSketch>(&graph_, &groups_, sketch_options);
     std::lock_guard<std::mutex> lock(cache_mutex_);
     ++stats_.constructions;
+    ++stats_.sketch_constructions;
     return built;
   };
   return std::get<std::shared_ptr<const RrSketch>>(
@@ -273,9 +305,11 @@ std::unique_ptr<GroupCoverageOracle> Engine::MakeOracle(
     // The sketch plays the role the world ensemble plays for the other
     // backends — including an independent evaluation-seeded sketch for the
     // §6.1 fresh-randomness audit. num_worlds does not apply; the sketch
-    // size comes from rr_sets_per_group / the IMM sizing.
+    // size comes from rr_sets_per_group / the IMM sizing. The cursor
+    // filters the (possibly deeper-built) sketch at the spec's deadline.
     return std::make_unique<RrOracle>(
-        &graph_, &groups_, AcquireSketch(spec, options, seed, evaluation, pool));
+        &graph_, &groups_, AcquireSketch(spec, options, seed, evaluation, pool),
+        spec.deadline);
   }
   std::shared_ptr<const WorldEnsemble> worlds =
       AcquireEnsemble(spec, num_worlds, seed, pool);
@@ -321,7 +355,9 @@ GroupVector Engine::EvaluationCoverage(const std::vector<NodeId>& seeds,
     return influence->EstimateGroupCoverage(seeds);
   }
   if (auto* rr = dynamic_cast<RrOracle*>(oracle.get())) {
-    return rr->sketch().EstimateGroupCoverage(seeds);
+    RrSelectOptions select;
+    select.deadline = rr->effective_deadline();
+    return rr->sketch().EstimateGroupCoverage(seeds, select);
   }
   for (const NodeId seed : seeds) oracle->AddSeed(seed);
   return oracle->group_coverage();
@@ -444,6 +480,43 @@ std::vector<Result<Solution>> Engine::SolveBatch(
   const ResolvedPool resolved = ResolvePool(options);
   resolved.pool->ParallelFor(specs.size(), run);
   return results;
+}
+
+Engine::SweepResult Engine::SolveSweep(const ProblemSpec& spec,
+                                       const std::vector<int>& deadlines,
+                                       const SolveOptions& options) {
+  SweepResult result;
+  result.deadlines = deadlines;
+  result.before = cache_stats();
+  if (const Status status = ValidateSweepDeadlines(deadlines); !status.ok()) {
+    // At least one failed entry even for an empty list, so callers who
+    // scan solutions for errors cannot mistake a rejected sweep for a
+    // successful empty one; deadlines is padded alongside (0 = rejected
+    // sentinel) to preserve the solutions[i] ~ deadlines[i] zip contract.
+    result.solutions.assign(std::max<size_t>(deadlines.size(), 1),
+                            Result<Solution>(status));
+    if (result.deadlines.empty()) result.deadlines.assign(1, 0);
+    result.after = result.before;
+    return result;
+  }
+
+  // Every point builds at (at least) the sweep's largest deadline, so the
+  // whole sweep shares one backend build per kind — kNoDeadline dominates.
+  int max_deadline = 0;
+  for (const int deadline : deadlines) {
+    max_deadline = std::max(max_deadline, std::min(deadline, kNoDeadline));
+  }
+  SolveOptions sweep_options = options;
+  sweep_options.min_backend_deadline =
+      std::max(options.min_backend_deadline, max_deadline);
+
+  std::vector<ProblemSpec> specs(deadlines.size(), spec);
+  for (size_t i = 0; i < deadlines.size(); ++i) {
+    specs[i].deadline = deadlines[i];
+  }
+  result.solutions = SolveBatch(specs, sweep_options);
+  result.after = cache_stats();
+  return result;
 }
 
 std::future<Result<Solution>> Engine::SubmitSolve(const ProblemSpec& spec,

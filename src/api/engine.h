@@ -6,11 +6,12 @@
 // an LRU cache of materialized oracle backends. A cached backend is one of
 //
 //   * a WorldEnsemble (sim/world_ensemble.h) — sampled live-edge worlds
-//     for the "montecarlo" and "arrival" oracles, keyed by (oracle kind,
-//     diffusion model, deadline, num_worlds, sampler seed [, delay
-//     distribution for the arrival backend]);
+//     for the "montecarlo" and "arrival" oracles, keyed by (diffusion
+//     model, num_worlds, sampler seed [, delay distribution for the
+//     geometric-delay arrival backend]) — deadline-free, since the cursor
+//     applies the deadline at query time;
 //   * an RrSketch (sim/rr_sets.h) — reverse-reachable sets for the "rr"
-//     oracle, keyed by (diffusion model, deadline, sets-per-group — or,
+//     oracle, keyed by (diffusion model, max-τ class, sets-per-group — or,
 //     when sized adaptively, the IMM inputs budget/ε/δ — and sampler
 //     seed);
 //
@@ -29,7 +30,25 @@
 //   auto pending = engine.SubmitSolve(spec);      // async, returns a future
 //   engine.cache_stats();                         // hits / misses / bytes
 //
-// Thread safety: Solve, EvaluateSeeds, SolveBatch, SubmitSolve,
+// Deadline-parametric backends: every backend answers EVERY effective
+// deadline τ' up to the deadline it was built at, so cache keys
+// canonicalize the deadline out. World ensembles record per-edge delays
+// (liveness coins are deadline-independent) and their oracle cursors apply
+// τ' at query time, so their keys carry no deadline at all — a montecarlo
+// ensemble even serves the unit-delay arrival oracle. RR sketches record
+// each member's hop distance to its root and filter by τ' at query time;
+// their keys carry a max-τ CLASS (the deadline rounded up to the next
+// power of two, floored by SolveOptions::min_backend_deadline) instead of
+// the deadline itself, so nearby deadlines share one build. On top of
+// that, Engine::SolveSweep solves one spec at many deadlines off a single
+// build per backend kind:
+//
+//   auto sweep = engine.SolveSweep(spec, {1, 2, 5, 10, 20, kNoDeadline});
+//   // sweep.solutions[i] answers deadlines[i];
+//   // sweep.after - sweep.before shows constructions == 1 per backend
+//   // kind (per selection/evaluation role).
+//
+// Thread safety: Solve, EvaluateSeeds, SolveBatch, SubmitSolve, SolveSweep,
 // cache_stats and Invalidate may all be called concurrently from any
 // thread. SolveBatch fans out over specs on a worker pool and runs each
 // solve's oracle serially (parallelism moves from worlds to solves);
@@ -84,6 +103,11 @@ struct EngineOptions {
   // External pool override (wins over num_threads); must outlive the
   // Engine.
   ThreadPool* pool = nullptr;
+
+  // Test-only hook, invoked on the builder thread at the start of every
+  // backend construction. Tests use it to block a build mid-flight or to
+  // throw (simulating a failed build); production code leaves it empty.
+  std::function<void()> backend_build_hook_for_test;
 };
 
 // Observability snapshot of the backend cache, overall and split by
@@ -105,6 +129,12 @@ struct CacheStats {
   size_t world_entries = 0;   // cached entries holding (or building) worlds
   size_t sketch_entries = 0;  // cached entries holding (or building) sketches
   size_t sketch_bytes = 0;    // bytes held by cached RR sketches
+
+  // Per-kind split of `constructions` — the observable proof that a
+  // deadline sweep materialized ONE backend per kind (per selection /
+  // evaluation role) instead of one per deadline.
+  int64_t world_constructions = 0;
+  int64_t sketch_constructions = 0;
 
   // "hits=9 misses=2 ... bytes=1.5MiB" one-liner for logs.
   std::string DebugString() const;
@@ -146,6 +176,36 @@ class Engine {
   std::vector<Result<Solution>> SolveBatch(
       std::span<const ProblemSpec> specs,
       const SolveOptions& options = SolveOptions());
+
+  // One spec solved at many deadlines off one backend build per kind.
+  struct SweepResult {
+    // Echoes the request; solutions[i] answers deadlines[i]. A rejected
+    // EMPTY request still yields one aligned (deadline 0, failed Status)
+    // pair so error scans and zips stay well-defined.
+    std::vector<int> deadlines;
+    std::vector<Result<Solution>> solutions;
+    // Engine-wide cache snapshots at entry and exit; on an otherwise idle
+    // engine their counter deltas are exactly this sweep's story (e.g.
+    // after.sketch_constructions - before.sketch_constructions == 1 for an
+    // rr sweep with evaluation off).
+    CacheStats before;
+    CacheStats after;
+  };
+
+  // Solves `spec` once per deadline in `deadlines` (each entry overrides
+  // spec.deadline; the spec's own deadline field is ignored). All points
+  // run with min_backend_deadline raised to the sweep's largest deadline,
+  // so every deadline is answered from ONE cached build per backend kind —
+  // the deadline-sweep shape of the paper's fig04c/fig05 at one build's
+  // cost. Fan-out and result alignment follow SolveBatch; an invalid
+  // deadline list fails every entry (at least one, even when the list is
+  // empty) with the same precise Status. One exception to the one-build
+  // story: adaptively-sized (IMM) rr sketches build per deadline to keep
+  // the (1−1/e−ε, δ) guarantee at each τ — pin
+  // SolveOptions::rr_sets_per_group for a one-build rr sweep.
+  SweepResult SolveSweep(const ProblemSpec& spec,
+                         const std::vector<int>& deadlines,
+                         const SolveOptions& options = SolveOptions());
 
   // Schedules an asynchronous Solve and returns immediately. The future is
   // fulfilled on a worker thread; safe to call concurrently with everything

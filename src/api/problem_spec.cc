@@ -1,5 +1,7 @@
 #include "api/problem_spec.h"
 
+#include <cctype>
+
 #include "common/string_util.h"
 
 namespace tcim {
@@ -39,6 +41,86 @@ Result<ProblemKind> ParseProblemKind(const std::string& text) {
       "unknown problem \"" + text +
       "\"; expected budget (p1), fair_budget (p4), cover (p2), "
       "fair_cover (p6), or maximin");
+}
+
+Status ValidateSweepDeadlines(const std::vector<int>& deadlines) {
+  if (deadlines.empty()) {
+    return InvalidArgumentError("a deadline sweep needs at least one deadline");
+  }
+  for (size_t i = 0; i < deadlines.size(); ++i) {
+    if (deadlines[i] <= 0) {
+      return InvalidArgumentError(StrFormat(
+          "sweep deadline #%zu must be positive (use kNoDeadline for "
+          "infinity), got %d",
+          i, deadlines[i]));
+    }
+    for (size_t j = 0; j < i; ++j) {
+      // Both kNoDeadline and any value >= it mean "infinity".
+      const bool same = deadlines[i] >= kNoDeadline
+                            ? deadlines[j] >= kNoDeadline
+                            : deadlines[j] == deadlines[i];
+      if (same) {
+        return InvalidArgumentError(StrFormat(
+            "sweep deadline #%zu duplicates #%zu (%s)", i, j,
+            deadlines[i] >= kNoDeadline
+                ? "infinity"
+                : StrFormat("%d", deadlines[i]).c_str()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<int>> ParseDeadlineList(const std::string& text) {
+  std::vector<int> deadlines;
+  std::string token;
+  const auto flush = [&]() -> Status {
+    if (token.empty()) {
+      return InvalidArgumentError("empty deadline entry in \"" + text + "\"");
+    }
+    if (token == "inf" || token == "none") {
+      deadlines.push_back(kNoDeadline);
+    } else {
+      int64_t value = 0;
+      if (!ParseInt64(token, &value)) {
+        return InvalidArgumentError("cannot parse deadline \"" + token +
+                                    "\" (expected an integer, \"inf\", or "
+                                    "\"none\")");
+      }
+      // Range-check BEFORE narrowing: a wrapped int would silently run
+      // the sweep at the wrong deadline.
+      if (value <= 0 || value > kNoDeadline) {
+        return InvalidArgumentError(StrFormat(
+            "deadline \"%s\" is out of range [1, %d]; use \"inf\" for "
+            "infinity",
+            token.c_str(), kNoDeadline));
+      }
+      deadlines.push_back(static_cast<int>(value));
+    }
+    token.clear();
+    return Status::Ok();
+  };
+  // Whitespace is allowed around entries, never inside one: "1 0" must be
+  // rejected, not silently read as "10".
+  bool token_interrupted = false;
+  for (const char c : text) {
+    if (c == ',') {
+      TCIM_RETURN_IF_ERROR(flush());
+      token_interrupted = false;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!token.empty()) token_interrupted = true;
+    } else {
+      if (token_interrupted) {
+        return InvalidArgumentError("unexpected space inside deadline entry "
+                                    "near \"" +
+                                    token + "\" in \"" + text + "\"");
+      }
+      token += c;
+    }
+  }
+  TCIM_RETURN_IF_ERROR(flush());
+  TCIM_RETURN_IF_ERROR(ValidateSweepDeadlines(deadlines));
+  return deadlines;
 }
 
 namespace {
@@ -232,6 +314,12 @@ Status SolveOptions::Validate(const Graph& graph) const {
     return InvalidArgumentError(
         StrFormat("rr_delta must be in (0, 1), got %s",
                   FormatDouble(rr_delta).c_str()));
+  }
+  if (min_backend_deadline < 0) {
+    return InvalidArgumentError(StrFormat(
+        "min_backend_deadline must be 0 (automatic), a positive deadline, "
+        "or kNoDeadline, got %d",
+        min_backend_deadline));
   }
   if (num_threads < 0) {
     return InvalidArgumentError(StrFormat(

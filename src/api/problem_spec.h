@@ -55,6 +55,16 @@ bool UsesQuota(ProblemKind kind);
 // "p6". The error message lists every accepted spelling.
 Result<ProblemKind> ParseProblemKind(const std::string& text);
 
+// Validates the deadline list of a sweep spec (Engine::SolveSweep,
+// --deadlines): non-empty, every deadline positive (kNoDeadline = ∞ is
+// allowed), no duplicates. Per-point constraints (e.g. the arrival
+// backend's finite-horizon requirement) are still checked per solve.
+Status ValidateSweepDeadlines(const std::vector<int>& deadlines);
+
+// Parses a "--deadlines=1,2,5,10,20,inf" style list ("inf"/"none" =
+// kNoDeadline); the result is already ValidateSweepDeadlines-checked.
+Result<std::vector<int>> ParseDeadlineList(const std::string& text);
+
 // Per-group weighting policy for the fair-budget objective (P4):
 // Σ_i λ_i H(s_i · f_i) with λ from `weights` and s_i = 1/|V_i| when
 // `normalize_by_group_size`.
@@ -165,6 +175,14 @@ struct SolveOptions {
   double rr_epsilon = 0.3;
   // Failure probability δ of that guarantee. Must be in (0, 1).
   double rr_delta = 0.05;
+
+  // Floor for the deadline oracle backends are BUILT at (they are
+  // deadline-parametric: one build at deadline τ answers every effective
+  // deadline τ' ≤ τ, see api/engine.h "Deadline-parametric backends").
+  // Engine::SolveSweep sets this to the sweep's largest deadline so every
+  // sweep point shares a single build; 0 means "the spec's own deadline
+  // class". Accepts 0, a positive deadline, or kNoDeadline.
+  int min_backend_deadline = 0;
 
   // Worker threads for oracle queries (Engine::Solve) and for the
   // solve-level fan-out (Engine::SolveBatch): 0 uses the engine's pool (or

@@ -158,37 +158,40 @@ class RrSelectSolver : public Solver {
           "solver \"rr_select\" runs directly on the RR sketch; set "
           "spec.oracle = \"rr\" (or use solver \"greedy\")");
     }
-    if (context.options().candidates != nullptr) {
-      return InvalidArgumentError(
-          "solver \"rr_select\" does not support a candidate restriction; "
-          "use solver \"greedy\" with oracle=rr");
-    }
     auto* rr = dynamic_cast<RrOracle*>(&context.oracle());
     if (rr == nullptr) {
       return InternalError("oracle \"rr\" did not produce an RrOracle");
     }
     const RrSketch& sketch = rr->sketch();
+    // The sketch may have been built deeper than the spec asks (deadline
+    // classes / sweeps); select and score at the spec's own deadline.
+    RrSelectOptions select;
+    select.deadline = rr->effective_deadline();
+    select.candidates = context.options().candidates;
 
     std::vector<NodeId> seeds;
     switch (spec.kind) {
       case ProblemKind::kBudget:
         seeds = sketch.SelectSeedsBudget(spec.budget,
-                                         [](double z) { return z; });
+                                         [](double z) { return z; }, select);
         break;
       case ProblemKind::kFairBudget: {
         if (!spec.group_policy.weights.empty() ||
             spec.group_policy.normalize_by_group_size) {
           return InvalidArgumentError(
               "solver \"rr_select\" supports fair_budget only with the "
-              "default group policy; use solver \"greedy\"");
+              "default group policy (per-group weights and group-size "
+              "normalization are not implemented here); use solver "
+              "\"greedy\"");
         }
         const ConcaveFunction h = spec.concave;
         seeds = sketch.SelectSeedsBudget(spec.budget,
-                                         [h](double z) { return h(z); });
+                                         [h](double z) { return h(z); }, select);
         break;
       }
       case ProblemKind::kFairCover:
-        seeds = sketch.SelectSeedsCover(spec.quota, context.options().max_seeds);
+        seeds = sketch.SelectSeedsCover(spec.quota, context.options().max_seeds,
+                                        select);
         break;
       default:
         return InternalError("rr_select dispatched an unsupported spec");
@@ -196,7 +199,7 @@ class RrSelectSolver : public Solver {
 
     Solution solution;
     solution.seeds = std::move(seeds);
-    solution.coverage = sketch.EstimateGroupCoverage(solution.seeds);
+    solution.coverage = sketch.EstimateGroupCoverage(solution.seeds, select);
     solution.normalized = NormalizeCoverage(solution.coverage, context.groups());
     if (spec.kind == ProblemKind::kFairCover) {
       const TruncatedQuotaObjective objective(spec.quota, &context.groups());

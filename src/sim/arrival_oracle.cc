@@ -35,7 +35,7 @@ ArrivalOracle::ArrivalOracle(const Graph* graph, const GroupAssignment* groups,
         << "world ensemble carries a different delay distribution";
     // Delays were stored capped; any cap beyond the horizon is equivalent
     // (a transmission longer than the horizon can never matter).
-    TCIM_CHECK(worlds_->delay_cap() > weight_.horizon())
+    TCIM_CHECK(worlds_->DeadlineExact(weight_.horizon()))
         << "world ensemble delay_cap is below this oracle's horizon";
   }
   arrival_.assign(

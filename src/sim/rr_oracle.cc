@@ -1,5 +1,6 @@
 #include "sim/rr_oracle.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -7,11 +8,16 @@
 namespace tcim {
 
 RrOracle::RrOracle(const Graph* graph, const GroupAssignment* groups,
-                   std::shared_ptr<const RrSketch> sketch)
+                   std::shared_ptr<const RrSketch> sketch,
+                   int effective_deadline)
     : graph_(graph), groups_(groups), sketch_(std::move(sketch)) {
   TCIM_CHECK(graph_ != nullptr && groups_ != nullptr && sketch_ != nullptr);
   TCIM_CHECK(graph_->num_nodes() == groups_->num_nodes());
   TCIM_CHECK(sketch_->num_groups() == groups_->num_groups());
+  TCIM_CHECK(effective_deadline >= 0)
+      << "effective deadline must be >= 0 (kNoDeadline for the full build)";
+  effective_deadline_ = static_cast<int32_t>(
+      std::min(effective_deadline, sketch_->build_deadline()));
   covered_.assign(sketch_->num_sets(), 0);
   group_coverage_.assign(groups_->num_groups(), 0.0);
 }
@@ -19,7 +25,11 @@ RrOracle::RrOracle(const Graph* graph, const GroupAssignment* groups,
 GroupVector RrOracle::EvaluateCandidate(NodeId candidate, bool commit) {
   TCIM_CHECK(candidate >= 0 && candidate < graph_->num_nodes());
   GroupVector gain(groups_->num_groups(), 0.0);
-  for (const int32_t set_id : sketch_->SetsContaining(candidate)) {
+  const std::vector<int32_t>& sets = sketch_->SetsContaining(candidate);
+  const std::vector<int32_t>& hops = sketch_->SetsContainingHops(candidate);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (hops[i] > effective_deadline_) continue;
+    const int32_t set_id = sets[i];
     if (covered_[set_id]) continue;
     const GroupId g = sketch_->SetRootGroup(set_id);
     gain[g] += sketch_->GroupWeight(g);

@@ -15,6 +15,11 @@
 // never mutated — any number of concurrent solves can hold cursors over
 // one cached sketch (api/engine.h), mirroring the WorldEnsemble contract.
 //
+// The cursor is deadline-parametric: it carries an effective deadline
+// τ' ≤ the sketch's build deadline and only counts members within τ' hops
+// of their root, so one cached sketch serves every deadline of a sweep
+// (sim/rr_sets.h explains why hop filtering is exact).
+//
 // Estimates agree with the Monte-Carlo oracle in expectation (both are
 // unbiased estimators of f̂_τ(S; V_i); property-tested in
 // tests/rr_agreement_test.cc) but are computed from different randomness,
@@ -38,9 +43,12 @@ class RrOracle : public GroupCoverageOracle {
  public:
   // Keeps pointers to `graph` and `groups` (must outlive the oracle) and
   // shares ownership of the sketch. The sketch must have been built from
-  // the same graph/groups.
+  // the same graph/groups. `effective_deadline` is the τ' this cursor
+  // answers at (clamped to the sketch's build deadline; kNoDeadline = the
+  // full build deadline).
   RrOracle(const Graph* graph, const GroupAssignment* groups,
-           std::shared_ptr<const RrSketch> sketch);
+           std::shared_ptr<const RrSketch> sketch,
+           int effective_deadline = kNoDeadline);
 
   RrOracle(const RrOracle&) = delete;
   RrOracle& operator=(const RrOracle&) = delete;
@@ -48,6 +56,8 @@ class RrOracle : public GroupCoverageOracle {
   const Graph& graph() const override { return *graph_; }
   const GroupAssignment& groups() const override { return *groups_; }
   const RrSketch& sketch() const { return *sketch_; }
+  // The τ' this cursor filters at (already clamped to the build deadline).
+  int effective_deadline() const { return effective_deadline_; }
 
   const std::vector<NodeId>& seeds() const override { return seeds_; }
   const GroupVector& group_coverage() const override {
@@ -71,6 +81,7 @@ class RrOracle : public GroupCoverageOracle {
   const Graph* graph_;
   const GroupAssignment* groups_;
   std::shared_ptr<const RrSketch> sketch_;
+  int32_t effective_deadline_ = 0;
 
   std::vector<NodeId> seeds_;
   std::vector<uint8_t> covered_;  // per RR set, hit by a committed seed

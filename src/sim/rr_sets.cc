@@ -7,6 +7,40 @@
 
 namespace tcim {
 
+namespace {
+
+// The effective hop bound of a query: the caller's τ' clamped to the build
+// deadline (hops beyond the build deadline were never explored anyway).
+int32_t EffectiveDeadline(const RrSketchOptions& build,
+                          const RrSelectOptions& select) {
+  TCIM_CHECK(select.deadline >= 0)
+      << "effective deadline must be >= 0 (kNoDeadline for the full build)";
+  return static_cast<int32_t>(std::min(select.deadline, build.deadline));
+}
+
+// The nodes a selection loop scans: the (deduplicated) candidate list, or
+// every node when unrestricted.
+std::vector<NodeId> ScanList(NodeId n, const RrSelectOptions& select) {
+  std::vector<NodeId> scan;
+  if (select.candidates == nullptr) {
+    scan.resize(n);
+    for (NodeId v = 0; v < n; ++v) scan[v] = v;
+    return scan;
+  }
+  std::vector<uint8_t> seen(n, 0);
+  scan.reserve(select.candidates->size());
+  for (const NodeId v : *select.candidates) {
+    TCIM_CHECK(v >= 0 && v < n) << "candidate out of range: " << v;
+    if (!seen[v]) {
+      seen[v] = 1;
+      scan.push_back(v);
+    }
+  }
+  return scan;
+}
+
+}  // namespace
+
 RrSketch::RrSketch(const Graph* graph, const GroupAssignment* groups,
                    const RrSketchOptions& options)
     : graph_(graph), groups_(groups), options_(options) {
@@ -31,6 +65,7 @@ RrSketch::RrSketch(const Graph* graph, const GroupAssignment* groups,
   for (GroupId g = 0; g < k; ++g) members_by_group[g] = groups->GroupMembers(g);
 
   set_members_.resize(total_sets);
+  set_member_hops_.resize(total_sets);
   set_root_group_.resize(total_sets);
   WorldSampler sampler(graph, options.model, options.seed);
 
@@ -51,13 +86,19 @@ RrSketch::RrSketch(const Graph* graph, const GroupAssignment* groups,
 
           // Reverse τ-bounded BFS from the root over live in-edges; the
           // world index is the set index, so each set sees fresh coins.
+          // BFS order means the recorded hop is the member's exact
+          // live-edge distance to the root, which is what makes the
+          // sketch deadline-parametric (see header).
           ++epoch;
           queue.clear();
           stamp[root] = epoch;
           queue.push_back(root);
           std::vector<NodeId>& out = set_members_[s];
+          std::vector<int32_t>& hops = set_member_hops_[s];
           out.clear();
           out.push_back(root);
+          hops.clear();
+          hops.push_back(0);
           size_t level_begin = 0;
           size_t level_end = queue.size();
           int depth = 0;
@@ -74,6 +115,7 @@ RrSketch::RrSketch(const Graph* graph, const GroupAssignment* groups,
                 stamp[in_edge.node] = epoch;
                 queue.push_back(in_edge.node);
                 out.push_back(in_edge.node);
+                hops.push_back(depth);
               }
             }
             level_begin = level_end;
@@ -82,36 +124,54 @@ RrSketch::RrSketch(const Graph* graph, const GroupAssignment* groups,
         }
       });
 
-  // Inverted index for greedy selection.
+  // Inverted index for greedy selection, hop-annotated so queries can
+  // filter by an effective deadline.
   sets_containing_.resize(n);
+  sets_containing_hops_.resize(n);
   for (int s = 0; s < total_sets; ++s) {
-    for (const NodeId v : set_members_[s]) {
-      sets_containing_[v].push_back(s);
+    const std::vector<NodeId>& members = set_members_[s];
+    const std::vector<int32_t>& hops = set_member_hops_[s];
+    for (size_t i = 0; i < members.size(); ++i) {
+      sets_containing_[members[i]].push_back(s);
+      sets_containing_hops_[members[i]].push_back(hops[i]);
     }
   }
 }
 
 size_t RrSketch::ApproxBytes() const {
   size_t bytes = set_members_.capacity() * sizeof(std::vector<NodeId>) +
+                 set_member_hops_.capacity() * sizeof(std::vector<int32_t>) +
                  set_root_group_.capacity() * sizeof(GroupId) +
                  group_weight_.capacity() * sizeof(double) +
-                 sets_containing_.capacity() * sizeof(std::vector<int32_t>);
+                 sets_containing_.capacity() * sizeof(std::vector<int32_t>) +
+                 sets_containing_hops_.capacity() * sizeof(std::vector<int32_t>);
   for (const auto& members : set_members_) {
     bytes += members.capacity() * sizeof(NodeId);
   }
+  for (const auto& hops : set_member_hops_) {
+    bytes += hops.capacity() * sizeof(int32_t);
+  }
   for (const auto& sets : sets_containing_) {
     bytes += sets.capacity() * sizeof(int32_t);
+  }
+  for (const auto& hops : sets_containing_hops_) {
+    bytes += hops.capacity() * sizeof(int32_t);
   }
   return bytes;
 }
 
 GroupVector RrSketch::EstimateGroupCoverage(
-    const std::vector<NodeId>& seeds) const {
+    const std::vector<NodeId>& seeds, const RrSelectOptions& select) const {
   const int k = num_groups();
+  const int32_t deadline = EffectiveDeadline(options_, select);
   std::vector<uint8_t> hit(set_members_.size(), 0);
   for (const NodeId s : seeds) {
     TCIM_CHECK(s >= 0 && s < graph_->num_nodes());
-    for (const int32_t set_id : sets_containing_[s]) hit[set_id] = 1;
+    const std::vector<int32_t>& sets = sets_containing_[s];
+    const std::vector<int32_t>& hops = sets_containing_hops_[s];
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (hops[i] <= deadline) hit[sets[i]] = 1;
+    }
   }
   GroupVector coverage(k, 0.0);
   for (size_t s = 0; s < hit.size(); ++s) {
@@ -120,28 +180,65 @@ GroupVector RrSketch::EstimateGroupCoverage(
   return coverage;
 }
 
+std::vector<int32_t> RrSketch::BuildFilteredCounts(int32_t deadline) const {
+  const NodeId n = graph_->num_nodes();
+  const int k = num_groups();
+  std::vector<int32_t> counts(static_cast<size_t>(n) * k, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::vector<int32_t>& sets = sets_containing_[v];
+    const std::vector<int32_t>& hops = sets_containing_hops_[v];
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (hops[i] > deadline) continue;
+      counts[static_cast<size_t>(v) * k + set_root_group_[sets[i]]]++;
+    }
+  }
+  return counts;
+}
+
+void RrSketch::CoverAndDecrement(NodeId chosen, int32_t deadline,
+                                 std::vector<uint8_t>& covered,
+                                 GroupVector& group_cov,
+                                 std::vector<int32_t>& counts) const {
+  const int k = num_groups();
+  const std::vector<int32_t>& sets = sets_containing_[chosen];
+  const std::vector<int32_t>& hops = sets_containing_hops_[chosen];
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (hops[i] > deadline) continue;
+    const int32_t set_id = sets[i];
+    if (covered[set_id]) continue;
+    covered[set_id] = 1;
+    const GroupId g = set_root_group_[set_id];
+    group_cov[g] += group_weight_[g];
+    const std::vector<NodeId>& members = set_members_[set_id];
+    const std::vector<int32_t>& member_hops = set_member_hops_[set_id];
+    for (size_t m = 0; m < members.size(); ++m) {
+      if (member_hops[m] > deadline) continue;
+      counts[static_cast<size_t>(members[m]) * k + g]--;
+    }
+  }
+}
+
 std::vector<NodeId> RrSketch::SelectSeedsBudget(
-    int budget, const std::function<double(double)>& wrap) const {
+    int budget, const std::function<double(double)>& wrap,
+    const RrSelectOptions& select) const {
   TCIM_CHECK(budget >= 0);
   const NodeId n = graph_->num_nodes();
   const int k = num_groups();
+  const int32_t deadline = EffectiveDeadline(options_, select);
+  const std::vector<NodeId> scan = ScanList(n, select);
 
-  // counts[v*k + g]: uncovered sets of group g that contain v.
-  std::vector<int32_t> counts(static_cast<size_t>(n) * k, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    for (const int32_t set_id : sets_containing_[v]) {
-      counts[static_cast<size_t>(v) * k + set_root_group_[set_id]]++;
-    }
-  }
+  std::vector<int32_t> counts = BuildFilteredCounts(deadline);
   std::vector<uint8_t> covered(set_members_.size(), 0);
   GroupVector group_cov(k, 0.0);
   std::vector<NodeId> seeds;
   seeds.reserve(budget);
 
-  for (int iter = 0; iter < budget && iter < n; ++iter) {
+  const int max_picks =
+      std::min<int>(budget, static_cast<int>(scan.size()));
+  for (int iter = 0; iter < max_picks; ++iter) {
     NodeId best = -1;
     double best_gain = -1.0;
-    for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId v : scan) {
       double gain = 0.0;
       for (GroupId g = 0; g < k; ++g) {
         const int32_t c = counts[static_cast<size_t>(v) * k + g];
@@ -156,32 +253,20 @@ std::vector<NodeId> RrSketch::SelectSeedsBudget(
     }
     if (best < 0 || best_gain <= 0.0) break;
     seeds.push_back(best);
-    // Cover best's sets; decrement counts of every member of each.
-    for (const int32_t set_id : sets_containing_[best]) {
-      if (covered[set_id]) continue;
-      covered[set_id] = 1;
-      const GroupId g = set_root_group_[set_id];
-      group_cov[g] += group_weight_[g];
-      for (const NodeId member : set_members_[set_id]) {
-        counts[static_cast<size_t>(member) * k + g]--;
-      }
-    }
+    CoverAndDecrement(best, deadline, covered, group_cov, counts);
   }
   return seeds;
 }
 
-std::vector<NodeId> RrSketch::SelectSeedsCover(double quota,
-                                               int max_seeds) const {
+std::vector<NodeId> RrSketch::SelectSeedsCover(
+    double quota, int max_seeds, const RrSelectOptions& select) const {
   TCIM_CHECK(quota >= 0.0 && quota <= 1.0);
   const NodeId n = graph_->num_nodes();
   const int k = num_groups();
+  const int32_t deadline = EffectiveDeadline(options_, select);
+  const std::vector<NodeId> scan = ScanList(n, select);
 
-  std::vector<int32_t> counts(static_cast<size_t>(n) * k, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    for (const int32_t set_id : sets_containing_[v]) {
-      counts[static_cast<size_t>(v) * k + set_root_group_[set_id]]++;
-    }
-  }
+  std::vector<int32_t> counts = BuildFilteredCounts(deadline);
   std::vector<uint8_t> covered(set_members_.size(), 0);
   GroupVector group_cov(k, 0.0);
   std::vector<NodeId> seeds;
@@ -200,7 +285,7 @@ std::vector<NodeId> RrSketch::SelectSeedsCover(double quota,
   while (static_cast<int>(seeds.size()) < max_seeds && !all_reached()) {
     NodeId best = -1;
     double best_gain = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId v : scan) {
       double gain = 0.0;
       for (GroupId g = 0; g < k; ++g) {
         const int32_t c = counts[static_cast<size_t>(v) * k + g];
@@ -215,15 +300,7 @@ std::vector<NodeId> RrSketch::SelectSeedsCover(double quota,
     }
     if (best < 0 || best_gain <= 1e-15) break;  // no candidate helps
     seeds.push_back(best);
-    for (const int32_t set_id : sets_containing_[best]) {
-      if (covered[set_id]) continue;
-      covered[set_id] = 1;
-      const GroupId g = set_root_group_[set_id];
-      group_cov[g] += group_weight_[g];
-      for (const NodeId member : set_members_[set_id]) {
-        counts[static_cast<size_t>(member) * k + g]--;
-      }
-    }
+    CoverAndDecrement(best, deadline, covered, group_cov, counts);
   }
   return seeds;
 }

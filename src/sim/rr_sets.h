@@ -12,6 +12,16 @@
 //   * seed selection is weighted max-coverage over the sketch — plain for
 //     P1, through a concave wrapper for P4, and per-group quota for P6.
 //
+// The sketch is DEADLINE-PARAMETRIC: the reverse BFS records every member's
+// hop distance to its root, so one sketch built at deadline τ answers any
+// effective deadline τ' ≤ τ exactly — the τ'-bounded RR set is precisely
+// {members with hop ≤ τ'}, over the same per-set coins a fresh τ' build
+// would flip (property-tested in tests/rr_sets_test.cc). Queries take the
+// effective deadline through RrSelectOptions / an explicit argument;
+// kNoDeadline (the default) means "the full build deadline". This is what
+// lets a deadline sweep (api/engine.h SolveSweep) serve every τ' off one
+// cached build.
+//
 // This module is the paper's "future work: developing new optimization
 // methods" direction and is benchmarked against the MC oracle in
 // bench/bench_ablation.cc (agreement is property-tested).
@@ -42,6 +52,18 @@ struct RrSketchOptions {
   ThreadPool* pool = nullptr;
 };
 
+// Per-query knobs of the sketch's selection / estimation entry points.
+struct RrSelectOptions {
+  // Effective deadline τ': only members within τ' hops of their root count
+  // as covering. Clamped to the sketch's build deadline; kNoDeadline (the
+  // default) uses the full build deadline.
+  int deadline = kNoDeadline;
+  // Restrict selection to these nodes; nullptr allows every node.
+  // Duplicates are tolerated (each node is considered once). Must outlive
+  // the call.
+  const std::vector<NodeId>* candidates = nullptr;
+};
+
 // IMM-style adaptive sketch sizing (Tang, Shi, Xiao, SIGMOD'15, adapted to
 // the time-critical setting): returns a per-group set count sufficient for
 // a (1−1/e−ε) guarantee at budget B with probability 1−δ, by iteratively
@@ -63,23 +85,41 @@ class RrSketch {
   int num_groups() const { return groups_->num_groups(); }
   const RrSketchOptions& options() const { return options_; }
 
-  // Estimated f̂_τ(S; V_i) for every group.
-  GroupVector EstimateGroupCoverage(const std::vector<NodeId>& seeds) const;
+  // The deadline the reverse BFS ran to; every effective deadline τ' up to
+  // this value is answered exactly by hop filtering.
+  int build_deadline() const { return options_.deadline; }
+
+  // Estimated f̂_τ'(S; V_i) for every group at the effective deadline
+  // `select.deadline` (candidates are ignored here).
+  GroupVector EstimateGroupCoverage(const std::vector<NodeId>& seeds,
+                                    const RrSelectOptions& select) const;
+  // Back-compat shorthand at the full build deadline.
+  GroupVector EstimateGroupCoverage(const std::vector<NodeId>& seeds) const {
+    return EstimateGroupCoverage(seeds, RrSelectOptions());
+  }
 
   // Greedy weighted max-coverage for Σ_i H(f_i): concavity is supplied by
   // the caller through `wrap` (identity reproduces P1, log reproduces P4).
   // Returns seeds in selection order.
   std::vector<NodeId> SelectSeedsBudget(
-      int budget, const std::function<double(double)>& wrap) const;
+      int budget, const std::function<double(double)>& wrap,
+      const RrSelectOptions& select = RrSelectOptions()) const;
 
   // Greedy for P6: grow the seed set maximizing Σ_i min(f_i/|V_i|, quota)
   // until every group's estimated normalized coverage reaches `quota` or
   // `max_seeds` is hit. Returns seeds in selection order.
-  std::vector<NodeId> SelectSeedsCover(double quota, int max_seeds) const;
+  std::vector<NodeId> SelectSeedsCover(
+      double quota, int max_seeds,
+      const RrSelectOptions& select = RrSelectOptions()) const;
 
-  // Members of RR set `index` (exposed for tests).
+  // Members of RR set `index` (exposed for tests). members[0] is the root.
   const std::vector<NodeId>& SetMembers(int index) const {
     return set_members_[index];
+  }
+  // Hop distance (over live in-edges) of each member to its root, aligned
+  // with SetMembers(index); the root's entry is 0.
+  const std::vector<int32_t>& SetMemberHops(int index) const {
+    return set_member_hops_[index];
   }
   GroupId SetRootGroup(int index) const { return set_root_group_[index]; }
 
@@ -90,25 +130,46 @@ class RrSketch {
   const std::vector<int32_t>& SetsContaining(NodeId v) const {
     return sets_containing_[v];
   }
+  // v's hop distance to the root of each set in SetsContaining(v), aligned
+  // index-for-index: v covers set SetsContaining(v)[i] at effective
+  // deadline τ' iff SetsContainingHops(v)[i] <= τ'.
+  const std::vector<int32_t>& SetsContainingHops(NodeId v) const {
+    return sets_containing_hops_[v];
+  }
 
   // Per-group scaling factor |V_i| / R_i: one newly hit set with a root in
   // group g is worth this many expected influenced nodes.
   double GroupWeight(GroupId g) const { return group_weight_[g]; }
 
-  // Actual heap footprint of the sketch arrays (members + inverted index),
-  // for the Engine's cache byte accounting.
+  // Actual heap footprint of the sketch arrays (members + hop annotations
+  // + inverted index), for the Engine's cache byte accounting.
   size_t ApproxBytes() const;
 
  private:
+  // counts[v*k + g]: uncovered RR sets of group g containing v within
+  // `deadline` hops — the state both SelectSeeds* greedy loops start from.
+  std::vector<int32_t> BuildFilteredCounts(int32_t deadline) const;
+
+  // Marks every ≤-deadline set of `chosen` covered, crediting group_cov
+  // and decrementing counts for each covered set's ≤-deadline members
+  // (only those were ever counted).
+  void CoverAndDecrement(NodeId chosen, int32_t deadline,
+                         std::vector<uint8_t>& covered, GroupVector& group_cov,
+                         std::vector<int32_t>& counts) const;
+
   const Graph* graph_;
   const GroupAssignment* groups_;
   RrSketchOptions options_;
 
   std::vector<std::vector<NodeId>> set_members_;
+  // set_member_hops_[s][i]: hop distance of set_members_[s][i] to root s.
+  std::vector<std::vector<int32_t>> set_member_hops_;
   std::vector<GroupId> set_root_group_;
   std::vector<double> group_weight_;
-  // Inverted index: sets_containing_[v] lists RR-set ids that contain v.
+  // Inverted index: sets_containing_[v] lists RR-set ids that contain v;
+  // sets_containing_hops_[v] carries v's hop to each of those roots.
   std::vector<std::vector<int32_t>> sets_containing_;
+  std::vector<std::vector<int32_t>> sets_containing_hops_;
 };
 
 }  // namespace tcim

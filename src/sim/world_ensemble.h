@@ -19,6 +19,16 @@
 // equivalent hash-on-the-fly traversal — oracles produce bit-identical
 // results with and without an ensemble (tested in
 // tests/world_ensemble_test.cc).
+//
+// An ensemble is DEADLINE-PARAMETRIC: liveness coins are deadline-
+// independent and every live edge's transmission delay (its per-edge
+// arrival step) is recorded at build time, so the oracle cursors over it
+// (sim/influence_oracle.h, sim/arrival_oracle.h) apply any effective
+// deadline τ' at query time — one cached build answers every deadline of a
+// sweep. The only caveat is delay truncation: stored delays are capped at
+// delay_cap, so horizon-bounded traversals are exact for any τ' with
+// delay_cap > τ' (DeadlineExact below). The default cap is "uncapped", i.e.
+// exact for every deadline.
 
 #ifndef TCIM_SIM_WORLD_ENSEMBLE_H_
 #define TCIM_SIM_WORLD_ENSEMBLE_H_
@@ -72,6 +82,13 @@ class WorldEnsemble {
   uint64_t seed() const { return options_.seed; }
   const DelaySampler& delays() const { return options_.delays; }
   int delay_cap() const { return options_.delay_cap; }
+
+  // True when a traversal bounded by `deadline` sees exactly the delays a
+  // cap-free build would have stored: any transmission longer than the
+  // deadline is indistinguishable from "too late" either way.
+  bool DeadlineExact(int deadline) const {
+    return options_.delay_cap > deadline;
+  }
 
   // The live out-edges of `v` in `world`, in graph out-edge order.
   std::span<const LiveEdge> OutEdges(uint32_t world, NodeId v) const {

@@ -1,0 +1,202 @@
+// Deadline-parametric backend semantics (the sweep tentpole):
+//
+//   * monotonicity — for a FIXED seed set served off one cached build, the
+//     estimated objective at effective deadline τ' is non-decreasing in τ'
+//     (hop/depth filtering is nested, so this is exact, not statistical);
+//   * agreement — SolveSweep's per-τ solutions match direct Solve calls at
+//     the same τ: bit-identically for the montecarlo backend (the world
+//     ensemble key is deadline-free either way) and within the
+//     rr_agreement tolerance for the rr backend (sweep and direct builds
+//     may use different deadline classes, hence different IMM/fixed
+//     sketches of the same distribution);
+//   * sweep-spec validation — precise Statuses out of
+//     ValidateSweepDeadlines / ParseDeadlineList.
+//
+// Registered under `ctest -L api` (CMakeLists label rule).
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/tcim.h"
+
+namespace tcim {
+namespace {
+
+const std::vector<int> kSweep = {1, 2, 5, 10, 20, kNoDeadline};
+
+class DeadlineSweepTest : public ::testing::Test {
+ protected:
+  DeadlineSweepTest() : gg_(MakeGraph()) {
+    options_.num_worlds = 100;
+    options_.rr_sets_per_group = 800;
+  }
+  static GroupedGraph MakeGraph() {
+    Rng rng(7);
+    return datasets::SyntheticDefault(rng);
+  }
+
+  GroupedGraph gg_;
+  SolveOptions options_;
+};
+
+// Fixed seeds, one cached build per backend kind: coverage must be
+// non-decreasing in the effective deadline, exactly.
+TEST_F(DeadlineSweepTest, ObjectiveIsMonotoneInTheEffectiveDeadline) {
+  const std::vector<NodeId> seeds = {3, 50, 120, 180, 7};
+  for (const std::string& oracle : {std::string("montecarlo"),
+                                    std::string("rr")}) {
+    Engine engine(gg_.graph, gg_.groups);
+    SolveOptions options = options_;
+    // Pin one shared build for every τ' (kNoDeadline dominates the sweep).
+    options.min_backend_deadline = kNoDeadline;
+
+    double previous_total = -1.0;
+    GroupVector previous_coverage;
+    for (const int deadline : kSweep) {
+      ProblemSpec spec = ProblemSpec::Budget(5, deadline);
+      spec.oracle = oracle;
+      const Result<GroupUtilityReport> report =
+          engine.EvaluateSeeds(seeds, spec, options);
+      ASSERT_TRUE(report.ok()) << oracle << " tau " << deadline << ": "
+                               << report.status().ToString();
+      EXPECT_GE(report->total, previous_total - 1e-9)
+          << oracle << " violates monotonicity at tau " << deadline;
+      // Monotone per group too, not just in aggregate.
+      if (!previous_coverage.empty()) {
+        for (size_t g = 0; g < report->coverage.size(); ++g) {
+          EXPECT_GE(report->coverage[g], previous_coverage[g] - 1e-9)
+              << oracle << " group " << g << " at tau " << deadline;
+        }
+      }
+      previous_total = report->total;
+      previous_coverage = report->coverage;
+    }
+    // The whole τ' ladder ran off ONE materialized backend.
+    EXPECT_EQ(engine.cache_stats().constructions, 1)
+        << oracle << ": " << engine.cache_stats().DebugString();
+  }
+}
+
+// Montecarlo: the sweep's per-τ solutions are bit-identical to direct
+// solves at each τ — the cached world ensemble is the same object a
+// one-shot solve would build.
+TEST_F(DeadlineSweepTest, MontecarloSweepMatchesDirectSolvesSeedForSeed) {
+  Engine sweep_engine(gg_.graph, gg_.groups);
+  const Engine::SweepResult sweep =
+      sweep_engine.SolveSweep(ProblemSpec::Budget(8, 0), kSweep, options_);
+  ASSERT_EQ(sweep.solutions.size(), kSweep.size());
+
+  Engine direct_engine(gg_.graph, gg_.groups);
+  for (size_t i = 0; i < kSweep.size(); ++i) {
+    ASSERT_TRUE(sweep.solutions[i].ok())
+        << sweep.solutions[i].status().ToString();
+    const Result<Solution> direct =
+        direct_engine.Solve(ProblemSpec::Budget(8, kSweep[i]), options_);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(sweep.solutions[i]->seeds, direct->seeds)
+        << "tau " << kSweep[i];
+    EXPECT_DOUBLE_EQ(sweep.solutions[i]->objective_value,
+                     direct->objective_value);
+  }
+  // ... and the sweep built one selection + one evaluation ensemble while
+  // the direct engine rebuilt nothing per deadline either (deadline-free
+  // world keys), so both report exactly two constructions.
+  EXPECT_EQ(sweep_engine.cache_stats().world_constructions, 2);
+  EXPECT_EQ(direct_engine.cache_stats().world_constructions, 2);
+}
+
+// RR: a single-point sweep at τ uses the same deadline class as a direct
+// solve at τ, so it is bit-identical; the full sweep (whose shared build
+// is deeper) must agree with direct solves within the estimator tolerance
+// when both seed sets are re-scored on one shared Monte-Carlo evaluation.
+TEST_F(DeadlineSweepTest, RrSweepAgreesWithDirectSolves) {
+  ProblemSpec spec = ProblemSpec::Budget(8, 0);
+  spec.oracle = "rr";
+  SolveOptions no_eval = options_;
+  no_eval.evaluate = false;
+
+  Engine engine(gg_.graph, gg_.groups);
+
+  // Exact case: same deadline class, same sketch, same seeds.
+  const Engine::SweepResult point = engine.SolveSweep(spec, {20}, no_eval);
+  ASSERT_TRUE(point.solutions[0].ok());
+  spec.deadline = 20;
+  const Result<Solution> direct20 = engine.Solve(spec, no_eval);
+  ASSERT_TRUE(direct20.ok());
+  EXPECT_EQ(point.solutions[0]->seeds, direct20->seeds);
+
+  // Tolerance case: the ∞-classed shared build vs per-τ classed builds.
+  spec.deadline = 0;
+  const Engine::SweepResult sweep = engine.SolveSweep(spec, kSweep, no_eval);
+  for (size_t i = 0; i < kSweep.size(); ++i) {
+    ASSERT_TRUE(sweep.solutions[i].ok())
+        << sweep.solutions[i].status().ToString();
+    ProblemSpec direct_spec = spec;
+    direct_spec.deadline = kSweep[i];
+    const Result<Solution> direct = engine.Solve(direct_spec, no_eval);
+    ASSERT_TRUE(direct.ok());
+
+    // Re-score both picks on one shared Monte-Carlo evaluation.
+    ProblemSpec eval_spec = ProblemSpec::Budget(1, kSweep[i]);
+    const auto score = [&](const std::vector<NodeId>& seeds) {
+      SolveOptions eval_options;
+      eval_options.num_worlds = 400;
+      const Result<GroupUtilityReport> report =
+          engine.EvaluateSeeds(seeds, eval_spec, eval_options);
+      EXPECT_TRUE(report.ok()) << report.status().ToString();
+      return report->total;
+    };
+    const double direct_total = score(direct->seeds);
+    const double sweep_total = score(sweep.solutions[i]->seeds);
+    ASSERT_GT(direct_total, 0.0);
+    EXPECT_NEAR(sweep_total, direct_total, 0.15 * direct_total)
+        << "tau " << kSweep[i];
+  }
+}
+
+TEST_F(DeadlineSweepTest, SweepValidationHasPreciseStatuses) {
+  EXPECT_TRUE(ValidateSweepDeadlines(kSweep).ok());
+
+  const Status empty = ValidateSweepDeadlines({});
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.message().find("at least one"), std::string::npos);
+
+  const Status zero = ValidateSweepDeadlines({5, 0});
+  EXPECT_EQ(zero.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(zero.message().find("positive"), std::string::npos);
+
+  const Status duplicate = ValidateSweepDeadlines({5, 10, 5});
+  EXPECT_EQ(duplicate.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(duplicate.message().find("duplicates"), std::string::npos);
+
+  // kNoDeadline and anything beyond it both mean infinity.
+  const Status double_inf =
+      ValidateSweepDeadlines({kNoDeadline, kNoDeadline + 1});
+  EXPECT_EQ(double_inf.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(double_inf.message().find("infinity"), std::string::npos);
+}
+
+TEST_F(DeadlineSweepTest, ParseDeadlineListRoundTrips) {
+  const Result<std::vector<int>> parsed =
+      ParseDeadlineList("1, 2,5,10,20, inf");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, kSweep);
+
+  EXPECT_FALSE(ParseDeadlineList("").ok());
+  EXPECT_FALSE(ParseDeadlineList("1,,2").ok());
+  EXPECT_FALSE(ParseDeadlineList("1,two").ok());
+  EXPECT_FALSE(ParseDeadlineList("1,2,1").ok());
+  // Whitespace inside an entry must not silently concatenate digits.
+  EXPECT_FALSE(ParseDeadlineList("1 0, 20").ok());
+  // Out-of-int-range values must not silently wrap to a small deadline.
+  EXPECT_FALSE(ParseDeadlineList("4294967301").ok());
+  EXPECT_FALSE(ParseDeadlineList("2147483648").ok());
+  const Result<std::vector<int>> none = ParseDeadlineList("none");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ((*none)[0], kNoDeadline);
+}
+
+}  // namespace
+}  // namespace tcim

@@ -6,7 +6,9 @@
 
 #include "api/engine.h"
 
+#include <atomic>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -83,10 +85,19 @@ TEST_F(EngineTest, RepeatedSolvesHitTheBackendCache) {
   ASSERT_TRUE(fair.ok());
   EXPECT_EQ(engine.cache_stats().misses, 2);
 
-  // A different deadline is a different backend.
+  // A different deadline is a hit as well: world backends are deadline-
+  // parametric (the oracle cursor applies τ' at query time), so a deadline
+  // sweep re-uses one sampled world set.
   const Result<Solution> other =
       engine.Solve(ProblemSpec::Budget(8, kDeadline + 5), options_);
   ASSERT_TRUE(other.ok());
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+  EXPECT_EQ(engine.cache_stats().constructions, 2);
+
+  // A different world count IS a different backend.
+  SolveOptions more_worlds = options_;
+  more_worlds.num_worlds = options_.num_worlds + 20;
+  ASSERT_TRUE(engine.Solve(spec, more_worlds).ok());
   EXPECT_EQ(engine.cache_stats().misses, 4);
 }
 
@@ -216,11 +227,15 @@ TEST_F(EngineTest, LruEvictsLeastRecentlyUsedBackend) {
 
   ASSERT_TRUE(engine.Solve(ProblemSpec::Budget(5, 10), options_).ok());
   EXPECT_EQ(engine.cache_stats().evictions, 0);
-  // A different deadline needs two new backends; the first pair is evicted.
-  ASSERT_TRUE(engine.Solve(ProblemSpec::Budget(5, 15), options_).ok());
+  // A different world count needs two new backends; the first pair is
+  // evicted. (A different deadline would NOT: backends are deadline-
+  // parametric since the sweep refactor.)
+  SolveOptions more_worlds = options_;
+  more_worlds.num_worlds = options_.num_worlds + 20;
+  ASSERT_TRUE(engine.Solve(ProblemSpec::Budget(5, 10), more_worlds).ok());
   EXPECT_EQ(engine.cache_stats().evictions, 2);
   EXPECT_EQ(engine.cache_stats().entries, 2u);
-  // Coming back to the first deadline misses again.
+  // Coming back to the first world count misses again.
   ASSERT_TRUE(engine.Solve(ProblemSpec::Budget(5, 10), options_).ok());
   EXPECT_EQ(engine.cache_stats().misses, 6);
 }
@@ -372,6 +387,190 @@ TEST_F(EngineTest, EvaluateSeedsWithRrOracleIgnoresTheBudgetField) {
       engine.EvaluateSeeds({0, 5, 17}, spec, rr_options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report->total, 0.0);
+}
+
+// Tentpole: a 6-deadline sweep (the fig04c shape) must materialize exactly
+// ONE backend per kind — not one per deadline.
+TEST_F(EngineTest, SolveSweepBuildsOneBackendPerKind) {
+  const std::vector<int> deadlines = {1, 2, 5, 10, 20, kNoDeadline};
+
+  Engine engine(gg_.graph, gg_.groups);
+  SolveOptions no_eval = options_;
+  no_eval.evaluate = false;
+
+  // Monte-Carlo: one world ensemble answers all six deadlines.
+  const Engine::SweepResult mc =
+      engine.SolveSweep(ProblemSpec::Budget(8, /*deadline=*/0), deadlines,
+                        no_eval);
+  ASSERT_EQ(mc.solutions.size(), deadlines.size());
+  for (size_t i = 0; i < mc.solutions.size(); ++i) {
+    ASSERT_TRUE(mc.solutions[i].ok()) << mc.solutions[i].status().ToString();
+  }
+  EXPECT_EQ(mc.after.world_constructions - mc.before.world_constructions, 1);
+  EXPECT_EQ(mc.after.sketch_constructions - mc.before.sketch_constructions, 0);
+
+  // RR: one sketch (built at the sweep's max deadline class) answers all.
+  ProblemSpec rr_spec = ProblemSpec::Budget(8, /*deadline=*/0);
+  rr_spec.oracle = "rr";
+  SolveOptions rr_options = no_eval;
+  rr_options.rr_sets_per_group = 500;
+  const Engine::SweepResult rr = engine.SolveSweep(rr_spec, deadlines,
+                                                   rr_options);
+  for (size_t i = 0; i < rr.solutions.size(); ++i) {
+    ASSERT_TRUE(rr.solutions[i].ok()) << rr.solutions[i].status().ToString();
+  }
+  EXPECT_EQ(rr.after.sketch_constructions - rr.before.sketch_constructions, 1);
+
+  // With the fresh-world evaluation on, the story is one build per
+  // (kind, selection/evaluation role): two, not twelve.
+  Engine eval_engine(gg_.graph, gg_.groups);
+  const Engine::SweepResult with_eval =
+      eval_engine.SolveSweep(ProblemSpec::Budget(8, 0), deadlines, options_);
+  for (const auto& solution : with_eval.solutions) ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(with_eval.after.world_constructions, 2);
+}
+
+TEST_F(EngineTest, SolveSweepRejectsBadDeadlineLists) {
+  Engine engine(gg_.graph, gg_.groups);
+  // An empty list is rejected VISIBLY: at least one failed entry, so an
+  // error scan over solutions cannot mistake it for a successful sweep.
+  const Engine::SweepResult empty =
+      engine.SolveSweep(ProblemSpec::Budget(5, 0), {}, options_);
+  ASSERT_EQ(empty.solutions.size(), 1u);
+  ASSERT_FALSE(empty.solutions[0].ok());
+  EXPECT_EQ(empty.solutions[0].status().code(), StatusCode::kInvalidArgument);
+  // deadlines stays zip-aligned with solutions even then.
+  ASSERT_EQ(empty.deadlines.size(), 1u);
+  EXPECT_EQ(empty.deadlines[0], 0);
+
+  const Engine::SweepResult negative =
+      engine.SolveSweep(ProblemSpec::Budget(5, 0), {5, -1}, options_);
+  ASSERT_EQ(negative.solutions.size(), 2u);
+  for (const auto& solution : negative.solutions) {
+    ASSERT_FALSE(solution.ok());
+    EXPECT_EQ(solution.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(solution.status().message().find("-1"), std::string::npos);
+  }
+  // Nothing was built for a rejected sweep.
+  EXPECT_EQ(engine.cache_stats().constructions, 0);
+
+  const Engine::SweepResult duplicate =
+      engine.SolveSweep(ProblemSpec::Budget(5, 0), {5, 10, 5}, options_);
+  ASSERT_FALSE(duplicate.solutions[0].ok());
+  EXPECT_NE(duplicate.solutions[0].status().message().find("duplicates"),
+            std::string::npos);
+}
+
+// Satellite regression (pins the PR 3 generation check): a failed build
+// must drop only ITS OWN cache entry — never a healthy entry that
+// replaced it after an Invalidate() — and must not poison the next
+// acquire of the same key.
+TEST_F(EngineTest, InvalidateDuringInFlightBuildDoesNotPoisonTheCache) {
+  const ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+  SolveOptions no_eval = options_;
+  no_eval.evaluate = false;  // one backend per solve keeps the hook simple
+
+  std::promise<void> build_started;
+  std::promise<void> release_build;
+  std::atomic<int> builds{0};
+  EngineOptions engine_options;
+  engine_options.backend_build_hook_for_test = [&] {
+    if (builds.fetch_add(1) == 0) {
+      // First build: report in, wait for the main thread, then fail.
+      build_started.set_value();
+      release_build.get_future().wait();
+      throw std::runtime_error("injected build failure");
+    }
+  };
+  Engine engine(gg_.graph, gg_.groups, engine_options);
+
+  // Thread A starts the doomed build (generation 1).
+  std::thread doomed([&] {
+    try {
+      (void)engine.Solve(spec, no_eval);
+      FAIL() << "the injected failure should have propagated";
+    } catch (const std::runtime_error&) {
+    }
+  });
+  build_started.get_future().wait();
+
+  // While it is in flight: Invalidate() drops its entry, and a fresh solve
+  // of the SAME key builds a healthy generation-2 entry.
+  engine.Invalidate();
+  const Result<Solution> healthy = engine.Solve(spec, no_eval);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+
+  // Now let the doomed build fail. Its cleanup must see the generation
+  // mismatch and leave the healthy entry alone ...
+  release_build.set_value();
+  doomed.join();
+
+  // ... so the next solve is a pure cache hit, not a rebuild (and not a
+  // rethrow of the stale exception).
+  const CacheStats before = engine.cache_stats();
+  const Result<Solution> warm = engine.Solve(spec, no_eval);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->seeds, healthy->seeds);
+  const CacheStats after = engine.cache_stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.constructions, before.constructions);
+  EXPECT_EQ(after.hits, before.hits + 1);
+}
+
+// And without any race: a failed build followed by a retry of the same key
+// must rebuild instead of serving the stored exception.
+TEST_F(EngineTest, FailedBuildIsRetriedOnTheNextAcquire) {
+  const ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+  SolveOptions no_eval = options_;
+  no_eval.evaluate = false;
+
+  std::atomic<int> builds{0};
+  EngineOptions engine_options;
+  engine_options.backend_build_hook_for_test = [&] {
+    if (builds.fetch_add(1) == 0) {
+      throw std::runtime_error("injected build failure");
+    }
+  };
+  Engine engine(gg_.graph, gg_.groups, engine_options);
+
+  EXPECT_THROW((void)engine.Solve(spec, no_eval), std::runtime_error);
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+
+  const Result<Solution> retried = engine.Solve(spec, no_eval);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(engine.cache_stats().constructions, 1);
+}
+
+// Adaptively (IMM) sized sketches key on the EXACT deadline — sizing θ
+// against a deeper deadline class would undersize the sketch vs OPT at
+// the τ actually queried — while fixed-size sketches share classes.
+TEST_F(EngineTest, AdaptiveSketchesKeyOnTheExactDeadline) {
+  Engine engine(gg_.graph, gg_.groups);
+  ProblemSpec spec = ProblemSpec::Budget(5, 17);
+  spec.oracle = "rr";
+  SolveOptions adaptive = options_;
+  adaptive.rr_sets_per_group = 0;  // IMM sizing
+  adaptive.evaluate = false;
+
+  ASSERT_TRUE(engine.Solve(spec, adaptive).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 1);
+
+  // τ=17 and τ=20 share the class-32 build when fixed-size; adaptive
+  // sizing must rebuild per deadline instead.
+  spec.deadline = 20;
+  ASSERT_TRUE(engine.Solve(spec, adaptive).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+  ASSERT_TRUE(engine.Solve(spec, adaptive).ok());
+  EXPECT_EQ(engine.cache_stats().hits, 1);
+
+  SolveOptions fixed = adaptive;
+  fixed.rr_sets_per_group = 400;
+  spec.deadline = 17;
+  ASSERT_TRUE(engine.Solve(spec, fixed).ok());
+  spec.deadline = 20;
+  ASSERT_TRUE(engine.Solve(spec, fixed).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 3);  // one shared class-32 build
+  EXPECT_EQ(engine.cache_stats().hits, 2);
 }
 
 TEST_F(EngineTest, ArrivalBackendIsCachedToo) {

@@ -132,6 +132,56 @@ TEST_F(RrAgreementTest, RrSelectFastPathAgreesWithGreedyAdapter) {
               1e-6 * std::max(1.0, greedy->objective_value));
 }
 
+// Satellite (PR 3 parity gap): rr_select honors a candidate restriction
+// and matches the generic greedy adapter under it — same sketch, same
+// objective, same restricted argmax.
+TEST_F(RrAgreementTest, RrSelectHonorsCandidateRestriction) {
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < gg_.graph.num_nodes(); v += 4) {
+    candidates.push_back(v);
+  }
+  SolveOptions restricted = options_;
+  restricted.candidates = &candidates;
+
+  ProblemSpec spec = ProblemSpec::Budget(10, kDeadline);
+  spec.oracle = "rr";
+  const Result<Solution> greedy = engine_.Solve(spec, restricted);
+  spec.solver = "rr_select";
+  const Result<Solution> fast = engine_.Solve(spec, restricted);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  for (const NodeId s : fast->seeds) {
+    EXPECT_EQ(s % 4, 0) << "seed " << s << " is not a candidate";
+  }
+  EXPECT_NEAR(fast->objective_value, greedy->objective_value,
+              1e-6 * std::max(1.0, greedy->objective_value));
+
+  // The fair-cover path is restricted too.
+  ProblemSpec cover_spec = ProblemSpec::FairCover(0.1, kDeadline);
+  cover_spec.oracle = "rr";
+  cover_spec.solver = "rr_select";
+  const Result<Solution> cover = engine_.Solve(cover_spec, restricted);
+  ASSERT_TRUE(cover.ok()) << cover.status().ToString();
+  for (const NodeId s : cover->seeds) {
+    EXPECT_EQ(s % 4, 0) << "seed " << s << " is not a candidate";
+  }
+}
+
+// Non-default group policies remain a precise InvalidArgument on the fast
+// path (the generic greedy adapter handles them).
+TEST_F(RrAgreementTest, RrSelectRejectsNonDefaultGroupPoliciesPrecisely) {
+  ProblemSpec spec = ProblemSpec::FairBudget(10, kDeadline);
+  spec.oracle = "rr";
+  spec.solver = "rr_select";
+  spec.group_policy.weights = {2.0, 1.0};
+  const Result<Solution> solution = engine_.Solve(spec, options_);
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(solution.status().message().find("group policy"),
+            std::string::npos);
+  EXPECT_NE(solution.status().message().find("greedy"), std::string::npos);
+}
+
 // rr_select without the rr oracle is a precise InvalidArgument, not UB.
 TEST_F(RrAgreementTest, RrSelectRequiresTheRrOracle) {
   ProblemSpec spec = ProblemSpec::Budget(10, kDeadline);

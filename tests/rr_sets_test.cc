@@ -76,6 +76,90 @@ TEST(RrSketchTest, DeadlineBoundsSetRadius) {
   }
 }
 
+// Tentpole: one sketch built at deadline τ answers any τ' <= τ EXACTLY —
+// hop filtering reproduces the fresh τ' build bit for bit (same per-set
+// coins, nested BFS).
+TEST(RrSketchTest, EffectiveDeadlineFilteringMatchesAFreshSmallerBuild) {
+  Rng rng(41);
+  SbmParams params;
+  params.num_nodes = 200;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+
+  RrSketchOptions deep_options;
+  deep_options.sets_per_group = 600;
+  deep_options.deadline = 8;
+  const RrSketch deep(&gg.graph, &gg.groups, deep_options);
+
+  for (const int tau : {1, 3, 8}) {
+    RrSketchOptions shallow_options = deep_options;
+    shallow_options.deadline = tau;
+    const RrSketch shallow(&gg.graph, &gg.groups, shallow_options);
+
+    // Membership: the deep sketch filtered to tau is the shallow sketch.
+    for (int s = 0; s < deep.num_sets(); ++s) {
+      std::vector<NodeId> filtered;
+      const auto& members = deep.SetMembers(s);
+      const auto& hops = deep.SetMemberHops(s);
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (hops[i] <= tau) filtered.push_back(members[i]);
+      }
+      // Both BFS orders are level order over the same coins.
+      EXPECT_EQ(filtered, shallow.SetMembers(s)) << "set " << s << " tau "
+                                                 << tau;
+    }
+
+    // Estimates and selections follow.
+    RrSelectOptions select;
+    select.deadline = tau;
+    const std::vector<NodeId> seeds = {3, 50, 120, 180};
+    EXPECT_EQ(deep.EstimateGroupCoverage(seeds, select),
+              shallow.EstimateGroupCoverage(seeds));
+    EXPECT_EQ(deep.SelectSeedsBudget(8, [](double z) { return z; }, select),
+              shallow.SelectSeedsBudget(8, [](double z) { return z; }));
+    EXPECT_EQ(deep.SelectSeedsCover(0.1, 50, select),
+              shallow.SelectSeedsCover(0.1, 50));
+  }
+}
+
+// Satellite: SelectSeeds* honor a candidate restriction — every pick comes
+// from the candidate set, and the restricted optimum is found among them.
+TEST(RrSketchTest, SelectionHonorsCandidateRestriction) {
+  Rng rng(43);
+  SbmParams params;
+  params.num_nodes = 200;
+  const GroupedGraph gg = GenerateSbm(params, rng);
+  RrSketchOptions options;
+  options.sets_per_group = 800;
+  options.deadline = 10;
+  const RrSketch sketch(&gg.graph, &gg.groups, options);
+
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < 200; v += 3) candidates.push_back(v);
+  candidates.push_back(0);  // duplicates are tolerated
+  RrSelectOptions select;
+  select.candidates = &candidates;
+
+  const auto budget_seeds =
+      sketch.SelectSeedsBudget(6, [](double z) { return z; }, select);
+  EXPECT_EQ(budget_seeds.size(), 6u);
+  for (const NodeId s : budget_seeds) {
+    EXPECT_EQ(s % 3, 0) << "seed " << s << " is not a candidate";
+  }
+
+  const auto cover_seeds = sketch.SelectSeedsCover(0.1, 100, select);
+  for (const NodeId s : cover_seeds) {
+    EXPECT_EQ(s % 3, 0) << "seed " << s << " is not a candidate";
+  }
+
+  // Restricting to the unrestricted winners reproduces them.
+  const auto free_seeds =
+      sketch.SelectSeedsBudget(6, [](double z) { return z; });
+  RrSelectOptions winners;
+  winners.candidates = &free_seeds;
+  EXPECT_EQ(sketch.SelectSeedsBudget(6, [](double z) { return z; }, winners),
+            free_seeds);
+}
+
 TEST(RrSketchTest, EstimateAgreesWithMonteCarloOracle) {
   Rng rng(7);
   SbmParams params;
