@@ -1,0 +1,265 @@
+// Multi-tenant serving bench: what does one EngineRegistry buy over K
+// hand-managed Engines?
+//
+//   (a) baseline — K independent Engines (one per graph), each with its
+//       own implicit pool and unbounded cache, solving a 2-spec working
+//       set (montecarlo + rr) for `rounds` rounds. Records per-tenant
+//       seeds, warm hit-rate and resident bytes.
+//   (b) registry, AMPLE budget — the same K working sets round-robin
+//       through one registry whose global budget is exactly the sum of the
+//       baseline working sets, on ONE shared pool. Acceptance bars
+//       (exit 1): resident bytes may never exceed the budget (checked
+//       after every solve), the warm hit-rate must be >= the baseline's,
+//       and every solution must be seed-for-seed identical to (a).
+//   (c) registry, TIGHT budget (half of (b), tenant 0 floored at its full
+//       working set) — the memory-pressure story: cross-tenant eviction
+//       keeps the registry within budget (exit 1 if ever exceeded, or if
+//       any solve diverges from (a)); the hit-rate degradation and
+//       eviction counts are reported.
+//
+// Overrides: --tenants=N (default 4), --worlds=N (default 80),
+// --rounds=N (default 3), --rr-sets=N (default 400).
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/tcim.h"
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/stopwatch.h"
+
+namespace tcim {
+namespace {
+
+struct TenantRun {
+  std::vector<std::vector<NodeId>> seeds;  // one per working-set spec
+  double hit_rate = 0.0;
+  size_t resident_bytes = 0;
+};
+
+double HitRate(const CacheStats& stats) {
+  const int64_t accesses = stats.hits + stats.misses;
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(stats.hits) / accesses;
+}
+
+std::string TenantId(int i) { return StrFormat("tenant%02d", i); }
+
+int Run(int argc, char** argv) {
+  bench::PrintBanner("Multi-tenant registry",
+                     "K graphs under one budget+pool vs K independent Engines");
+  const int tenants = bench::IntFlag(argc, argv, "tenants", 4);
+  const int worlds = bench::IntFlag(argc, argv, "worlds", 80);
+  const int rounds = bench::IntFlag(argc, argv, "rounds", 3);
+  const int rr_sets = bench::IntFlag(argc, argv, "rr-sets", 400);
+  if (tenants < 2 || rounds < 2) {
+    std::printf("need --tenants>=2 and --rounds>=2 for a warm-rate story\n");
+    return 1;
+  }
+
+  // One graph per tenant (different seeds: genuinely different networks).
+  std::vector<GroupedGraph> graphs;
+  graphs.reserve(tenants);
+  for (int i = 0; i < tenants; ++i) {
+    Rng rng(100 + static_cast<uint64_t>(i));
+    graphs.push_back(datasets::SyntheticDefault(rng));
+  }
+
+  SolveOptions mc_options;
+  mc_options.num_worlds = worlds;
+  SolveOptions rr_options = mc_options;
+  rr_options.rr_sets_per_group = rr_sets;
+
+  // The per-tenant working set: one Monte-Carlo spec, one RR spec.
+  ProblemSpec rr_spec = ProblemSpec::Budget(10, /*deadline=*/20);
+  rr_spec.oracle = "rr";
+  const std::vector<std::pair<ProblemSpec, SolveOptions>> working_set = {
+      {ProblemSpec::Budget(10, /*deadline=*/20), mc_options},
+      {rr_spec, rr_options},
+  };
+
+  CsvWriter csv({"phase", "seconds", "hit_rate", "resident_bytes",
+                 "budget_bytes", "evictions", "cross_tenant_evictions"});
+
+  // --- (a) K independent Engines. -------------------------------------------
+  std::vector<TenantRun> baseline(tenants);
+  size_t baseline_bytes = 0;
+  double baseline_hit_rate = 0.0;
+  Stopwatch baseline_watch;
+  {
+    int64_t hits = 0;
+    int64_t accesses = 0;
+    for (int i = 0; i < tenants; ++i) {
+      Engine engine(graphs[i].graph, graphs[i].groups);
+      for (int round = 0; round < rounds; ++round) {
+        for (size_t s = 0; s < working_set.size(); ++s) {
+          const Result<Solution> solution =
+              engine.Solve(working_set[s].first, working_set[s].second);
+          if (!solution.ok()) {
+            std::printf("baseline solve failed: %s\n",
+                        solution.status().ToString().c_str());
+            return 1;
+          }
+          if (round == 0) baseline[i].seeds.push_back(solution->seeds);
+        }
+      }
+      const CacheStats stats = engine.cache_stats();
+      baseline[i].hit_rate = HitRate(stats);
+      baseline[i].resident_bytes = engine.resident_bytes();
+      baseline_bytes += baseline[i].resident_bytes;
+      hits += stats.hits;
+      accesses += stats.hits + stats.misses;
+    }
+    baseline_hit_rate = static_cast<double>(hits) / accesses;
+  }
+  const double baseline_seconds = baseline_watch.ElapsedSeconds();
+  std::printf("(a) %d independent Engines  %.4fs  warm hit-rate %.1f%%  "
+              "resident %zu bytes\n",
+              tenants, baseline_seconds, 100.0 * baseline_hit_rate,
+              baseline_bytes);
+  csv.AddRow({"independent_engines", FormatDouble(baseline_seconds, 6),
+              FormatDouble(baseline_hit_rate, 4),
+              StrFormat("%zu", baseline_bytes), "0", "0", "0"});
+
+  // Round-robin the same working sets through one registry; check the
+  // budget after every solve and compare seeds against the baseline.
+  const auto run_registry = [&](EngineRegistry& registry, size_t budget,
+                                const char* label, bool& budget_ok,
+                                bool& seeds_ok) {
+    budget_ok = true;
+    seeds_ok = true;
+    for (int round = 0; round < rounds; ++round) {
+      for (int i = 0; i < tenants; ++i) {
+        for (size_t s = 0; s < working_set.size(); ++s) {
+          const Result<Solution> solution = registry.Solve(
+              TenantId(i), working_set[s].first, working_set[s].second);
+          if (!solution.ok()) {
+            std::printf("%s solve failed: %s\n", label,
+                        solution.status().ToString().c_str());
+            seeds_ok = false;
+            return;
+          }
+          if (solution->seeds != baseline[i].seeds[s]) seeds_ok = false;
+          if (registry.resident_bytes() > budget) budget_ok = false;
+        }
+      }
+    }
+  };
+
+  // --- (b) One registry, budget == the sum of the working sets. -------------
+  bool ample_budget_ok = false;
+  bool ample_seeds_ok = false;
+  double ample_hit_rate = 0.0;
+  double ample_seconds = 0.0;
+  {
+    RegistryOptions registry_options;
+    registry_options.max_total_bytes = baseline_bytes;
+    EngineRegistry registry(registry_options);
+    for (int i = 0; i < tenants; ++i) {
+      GroupedGraph gg = graphs[i];
+      const Status status = registry.Register(
+          TenantId(i), std::move(gg.graph), std::move(gg.groups));
+      if (!status.ok()) {
+        std::printf("register failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    Stopwatch watch;
+    run_registry(registry, registry_options.max_total_bytes, "(b)",
+                 ample_budget_ok, ample_seeds_ok);
+    ample_seconds = watch.ElapsedSeconds();
+    const RegistryStats stats = registry.Stats();
+    ample_hit_rate = HitRate(stats.totals);
+    std::printf("(b) registry (budget=%zu, one pool)  %.4fs  warm hit-rate "
+                "%.1f%%  resident %zu  cross-tenant evictions %lld\n",
+                registry_options.max_total_bytes, ample_seconds,
+                100.0 * ample_hit_rate, stats.resident_bytes,
+                static_cast<long long>(stats.cross_tenant_evictions));
+    csv.AddRow({"registry_ample", FormatDouble(ample_seconds, 6),
+                FormatDouble(ample_hit_rate, 4),
+                StrFormat("%zu", stats.resident_bytes),
+                StrFormat("%zu", registry_options.max_total_bytes),
+                StrFormat("%lld",
+                          static_cast<long long>(stats.totals.evictions)),
+                StrFormat("%lld", static_cast<long long>(
+                                      stats.cross_tenant_evictions))});
+  }
+
+  // --- (c) One registry, HALF the budget, tenant 0 floored. -----------------
+  bool tight_budget_ok = false;
+  bool tight_seeds_ok = false;
+  {
+    RegistryOptions registry_options;
+    registry_options.max_total_bytes = baseline_bytes / 2;
+    EngineRegistry registry(registry_options);
+    for (int i = 0; i < tenants; ++i) {
+      TenantOptions tenant_options;
+      if (i == 0) {
+        tenant_options.min_resident_bytes = baseline[0].resident_bytes;
+      }
+      GroupedGraph gg = graphs[i];
+      const Status status =
+          registry.Register(TenantId(i), std::move(gg.graph),
+                            std::move(gg.groups), tenant_options);
+      if (!status.ok()) {
+        std::printf("register failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    Stopwatch watch;
+    run_registry(registry, registry_options.max_total_bytes, "(c)",
+                 tight_budget_ok, tight_seeds_ok);
+    const double seconds = watch.ElapsedSeconds();
+    const RegistryStats stats = registry.Stats();
+    double floored_rate = 0.0;
+    for (const auto& tenant : stats.tenants) {
+      if (tenant.id == TenantId(0)) floored_rate = HitRate(tenant.cache);
+    }
+    std::printf("(c) registry (budget=%zu, tenant00 floored)  %.4fs  warm "
+                "hit-rate %.1f%% (floored tenant %.1f%%)  resident %zu  "
+                "cross-tenant evictions %lld\n",
+                registry_options.max_total_bytes, seconds,
+                100.0 * HitRate(stats.totals), 100.0 * floored_rate,
+                stats.resident_bytes,
+                static_cast<long long>(stats.cross_tenant_evictions));
+    csv.AddRow({"registry_tight", FormatDouble(seconds, 6),
+                FormatDouble(HitRate(stats.totals), 4),
+                StrFormat("%zu", stats.resident_bytes),
+                StrFormat("%zu", registry_options.max_total_bytes),
+                StrFormat("%lld",
+                          static_cast<long long>(stats.totals.evictions)),
+                StrFormat("%lld", static_cast<long long>(
+                                      stats.cross_tenant_evictions))});
+  }
+
+  bench::WriteCsv(csv, "multi_tenant.csv");
+
+  // --- Acceptance bars. -----------------------------------------------------
+  bool ok = true;
+  if (!ample_budget_ok || !tight_budget_ok) {
+    std::printf("\nERROR: registry exceeded its global byte budget\n");
+    ok = false;
+  }
+  if (!(ample_hit_rate >= baseline_hit_rate - 1e-9)) {
+    std::printf("\nERROR: ample-budget warm hit-rate %.3f below the "
+                "independent-Engine baseline %.3f\n",
+                ample_hit_rate, baseline_hit_rate);
+    ok = false;
+  }
+  if (!ample_seeds_ok || !tight_seeds_ok) {
+    std::printf("\nERROR: registry solutions diverged from the baseline\n");
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\nall bars met: budget respected, warm hit-rate >= "
+                "baseline, seeds identical\n");
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tcim
+
+int main(int argc, char** argv) { return tcim::Run(argc, argv); }

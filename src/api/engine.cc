@@ -1,7 +1,6 @@
 #include "api/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -110,6 +109,19 @@ std::string SketchKey(const ProblemSpec& spec, const SolveOptions& options,
   return key;
 }
 
+// Heap footprint of a finished backend, for the cache's byte accounting.
+// A world entry that fell back to hash-on-the-fly sampling holds nothing.
+size_t BackendBytes(
+    const std::variant<std::shared_ptr<const WorldEnsemble>,
+                       std::shared_ptr<const RrSketch>>& value) {
+  if (const auto* worlds =
+          std::get_if<std::shared_ptr<const WorldEnsemble>>(&value)) {
+    return *worlds != nullptr ? (*worlds)->ApproxBytes() : 0;
+  }
+  const auto& sketch = std::get<std::shared_ptr<const RrSketch>>(value);
+  return sketch != nullptr ? sketch->ApproxBytes() : 0;
+}
+
 Status ValidateSeedSet(const Graph& graph, const std::vector<NodeId>& seeds) {
   for (const NodeId seed : seeds) {
     if (seed < 0 || seed >= graph.num_nodes()) {
@@ -173,6 +185,36 @@ Engine::ResolvedPool Engine::ResolvePool(const SolveOptions& options) const {
   return resolved;
 }
 
+uint64_t Engine::NextTick() const {
+  std::atomic<uint64_t>& clock =
+      options_.lru_clock != nullptr ? *options_.lru_clock : local_clock_;
+  return clock.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void Engine::EvictEntryLocked(
+    std::map<std::string, CacheEntry>::iterator it) {
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_position);
+  cache_.erase(it);
+  ++stats_.evictions;
+}
+
+void Engine::EnforceByteBudgetLocked(const std::string& protect_key) {
+  auto pos = lru_.end();
+  while (resident_bytes_ > options_.max_ensemble_bytes &&
+         pos != lru_.begin()) {
+    --pos;
+    if (*pos == protect_key) continue;
+    auto it = cache_.find(*pos);
+    if (it->second.bytes == 0) continue;  // still building, or a 0-byte
+                                          // world-fallback marker entry
+    // Step off the doomed element first (list::erase only invalidates the
+    // erased iterator), so the scan can keep walking toward the front.
+    ++pos;
+    EvictEntryLocked(it);
+  }
+}
+
 std::shared_future<Engine::BackendValue> Engine::AcquireBackend(
     const std::string& key, BackendKind kind,
     const std::function<BackendValue()>& build) {
@@ -185,6 +227,7 @@ std::shared_future<Engine::BackendValue> Engine::AcquireBackend(
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++stats_.hits;
+      it->second.last_used = NextTick();
       lru_.splice(lru_.begin(), lru_, it->second.lru_position);
       ready = it->second.backend;
     } else {
@@ -193,12 +236,11 @@ std::shared_future<Engine::BackendValue> Engine::AcquireBackend(
       generation = ++next_generation_;
       ready = promise.get_future().share();
       lru_.push_front(key);
-      cache_.emplace(key, CacheEntry{lru_.begin(), kind, generation, ready});
+      cache_.emplace(key, CacheEntry{lru_.begin(), kind, generation,
+                                     /*bytes=*/0, NextTick(), ready});
       while (cache_.size() >
              static_cast<size_t>(options_.max_cached_backends)) {
-        cache_.erase(lru_.back());
-        lru_.pop_back();
-        ++stats_.evictions;
+        EvictEntryLocked(cache_.find(lru_.back()));
       }
     }
   }
@@ -210,7 +252,31 @@ std::shared_future<Engine::BackendValue> Engine::AcquireBackend(
       if (options_.backend_build_hook_for_test) {
         options_.backend_build_hook_for_test();
       }
-      promise.set_value(build());
+      BackendValue value = build();
+      const size_t bytes = BackendBytes(value);
+      bool recorded = false;
+      {
+        // Record the finished build's bytes (generation-checked: the entry
+        // may have been evicted or invalidated mid-build, in which case it
+        // no longer participates in the accounting) and bring the cache
+        // back under its unified byte budget — everything, RR sketches
+        // included, counts; only the entry just built is safe from its own
+        // enforcement pass.
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end() && it->second.generation == generation) {
+          it->second.bytes = bytes;
+          resident_bytes_ += bytes;
+          recorded = bytes > 0;
+          if (recorded) EnforceByteBudgetLocked(key);
+        }
+      }
+      promise.set_value(std::move(value));
+      if (recorded && options_.resident_bytes_changed) {
+        // Outside every engine lock: the registry's global-budget pass may
+        // re-enter this engine's accounting API.
+        options_.resident_bytes_changed();
+      }
     } catch (...) {
       // A failed build (e.g. bad_alloc on an oversized sketch) must not
       // poison the cache: drop the entry so the next request rebuilds,
@@ -519,8 +585,9 @@ Engine::SweepResult Engine::SolveSweep(const ProblemSpec& spec,
   return result;
 }
 
-std::future<Result<Solution>> Engine::SubmitSolve(const ProblemSpec& spec,
-                                                  const SolveOptions& options) {
+std::future<Result<Solution>> Engine::SubmitSolve(
+    const ProblemSpec& spec, const SolveOptions& options,
+    std::shared_ptr<const void> keepalive) {
   if (const Status status = options.Validate(graph_); !status.ok()) {
     std::promise<Result<Solution>> rejected;
     rejected.set_value(status);
@@ -545,7 +612,12 @@ std::future<Result<Solution>> Engine::SubmitSolve(const ProblemSpec& spec,
     std::lock_guard<std::mutex> lock(pending_mutex_);
     ++pending_;
   }
-  PoolFor(options).Schedule([this, task] {
+  // `keepalive` rides in the scheduled closure and is released only after
+  // the pending count drops, so when it holds the last reference to this
+  // engine's owner (the registry's tenant handle), the engine destructor
+  // it triggers finds this task already accounted done. Tasks each hold
+  // their own copy; the owner can only die with the LAST of them.
+  PoolFor(options).Schedule([this, task, keepalive = std::move(keepalive)] {
     (*task)();
     std::lock_guard<std::mutex> lock(pending_mutex_);
     --pending_;
@@ -558,25 +630,48 @@ CacheStats Engine::cache_stats() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   CacheStats stats = stats_;
   stats.entries = cache_.size();
-  stats.ensemble_bytes = 0;
   for (const auto& [key, entry] : cache_) {
-    (entry.kind == BackendKind::kWorlds ? stats.world_entries
-                                        : stats.sketch_entries)++;
-    const auto& pending = entry.backend;
-    if (pending.wait_for(std::chrono::seconds(0)) !=
-        std::future_status::ready) {
-      continue;  // still building; counted as an entry, bytes unknown yet
-    }
-    const BackendValue& value = pending.get();
-    if (const auto* worlds =
-            std::get_if<std::shared_ptr<const WorldEnsemble>>(&value)) {
-      if (*worlds != nullptr) stats.ensemble_bytes += (*worlds)->ApproxBytes();
-    } else if (const auto* sketch =
-                   std::get_if<std::shared_ptr<const RrSketch>>(&value)) {
-      if (*sketch != nullptr) stats.sketch_bytes += (*sketch)->ApproxBytes();
+    // Bytes come from the incremental accounting (recorded when a build
+    // lands); an entry still building counts as an entry with 0 bytes,
+    // exactly as the old walk-the-futures snapshot reported it.
+    if (entry.kind == BackendKind::kWorlds) {
+      ++stats.world_entries;
+      stats.ensemble_bytes += entry.bytes;
+    } else {
+      ++stats.sketch_entries;
+      stats.sketch_bytes += entry.bytes;
     }
   }
   return stats;
+}
+
+size_t Engine::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return resident_bytes_;
+}
+
+Engine::ResidentEntry Engine::OldestEvictable(size_t min_resident_bytes) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (auto pos = lru_.rbegin(); pos != lru_.rend(); ++pos) {
+    const CacheEntry& entry = cache_.find(*pos)->second;
+    if (entry.bytes == 0) continue;  // building, or a 0-byte fallback marker
+    if (resident_bytes_ - entry.bytes < min_resident_bytes) continue;
+    return ResidentEntry{true, entry.last_used, entry.bytes};
+  }
+  return ResidentEntry{};
+}
+
+size_t Engine::EvictOldestEvictable(size_t min_resident_bytes) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (auto pos = lru_.rbegin(); pos != lru_.rend(); ++pos) {
+    auto it = cache_.find(*pos);
+    if (it->second.bytes == 0) continue;
+    if (resident_bytes_ - it->second.bytes < min_resident_bytes) continue;
+    const size_t freed = it->second.bytes;
+    EvictEntryLocked(it);
+    return freed;
+  }
+  return 0;
 }
 
 void Engine::Invalidate() {
@@ -584,6 +679,7 @@ void Engine::Invalidate() {
   ++stats_.invalidations;
   cache_.clear();
   lru_.clear();
+  resident_bytes_ = 0;
 }
 
 }  // namespace tcim

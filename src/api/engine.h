@@ -57,6 +57,7 @@
 #ifndef TCIM_API_ENGINE_H_
 #define TCIM_API_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -88,12 +89,20 @@ struct EngineOptions {
   // are dropped. Must be >= 1.
   int max_cached_backends = 8;
 
-  // World ensembles whose estimated materialized footprint exceeds this
-  // fall back to hash-on-the-fly world sampling (still correct, still
-  // cached as an entry so the decision is made once). RR sketches are
-  // exempt: the sketch IS the oracle's data structure, not a traversal
-  // accelerator, so there is nothing to fall back to — sketch bytes are
-  // reported in CacheStats and bounded by max_cached_backends instead.
+  // Unified resident-bytes budget for the backend cache — the per-engine
+  // (per-tenant, under an EngineRegistry) cache budget. Enforced at two
+  // points:
+  //   (a) a world ensemble whose ESTIMATED footprint alone exceeds the
+  //       budget falls back to hash-on-the-fly world sampling (still
+  //       correct, still cached as a 0-byte entry so the decision is made
+  //       once);
+  //   (b) whenever a build lands, resident bytes — worlds AND RR sketches;
+  //       sketches count toward the budget too since the registry refactor
+  //       (PR 3 had them exempt) — above the budget evict least-recently-
+  //       used entries until back within it. The entry just built is never
+  //       evicted by its own enforcement pass, so a single over-budget
+  //       sketch still materializes and serves its waiters (a sketch IS the
+  //       oracle's data structure; there is nothing to fall back to).
   size_t max_ensemble_bytes = size_t{512} << 20;  // 512 MiB
 
   // Engine-owned worker pool size for oracle queries and batch fan-out;
@@ -101,8 +110,26 @@ struct EngineOptions {
   int num_threads = 0;
 
   // External pool override (wins over num_threads); must outlive the
-  // Engine.
+  // Engine. This is the shared-pool seam: an EngineRegistry injects ONE
+  // worker pool here for every tenant engine, so a 64-tenant registry does
+  // not spawn 64 x N threads.
   ThreadPool* pool = nullptr;
+
+  // Shared last-use clock for cross-engine LRU comparison. Every cache
+  // touch (hit or insert) stamps the entry with a fresh reading, so two
+  // engines handed the same clock (EngineRegistry does this) have directly
+  // comparable CacheEntry recency — the basis of cross-tenant "the
+  // least-recently-used entry ANYWHERE loses" eviction. nullptr uses an
+  // engine-local clock; must outlive the Engine when set.
+  std::atomic<uint64_t>* lru_clock = nullptr;
+
+  // Invoked on the builder thread — outside every engine lock — right
+  // after a finished build's bytes are recorded in the cache accounting.
+  // The EngineRegistry hangs its global-budget enforcement pass off this;
+  // production single-engine code leaves it empty. Must not call back into
+  // this engine's Solve family (it MAY call the byte-accounting queries
+  // and eviction entry points below).
+  std::function<void()> resident_bytes_changed;
 
   // Test-only hook, invoked on the builder thread at the start of every
   // backend construction. Tests use it to block a build mid-flight or to
@@ -119,7 +146,7 @@ struct CacheStats {
   int64_t constructions = 0;  // backends actually materialized (== misses
                               // unless max_ensemble_bytes forced world
                               // fallbacks)
-  int64_t evictions = 0;   // LRU drops
+  int64_t evictions = 0;   // LRU drops (entry-count cap or byte budget)
   int64_t invalidations = 0;  // Invalidate() calls
   size_t entries = 0;      // backends currently cached (all kinds)
   size_t ensemble_bytes = 0;  // bytes held by cached world ensembles
@@ -210,12 +237,42 @@ class Engine {
   // Schedules an asynchronous Solve and returns immediately. The future is
   // fulfilled on a worker thread; safe to call concurrently with everything
   // else. `options.candidates` (if set) must stay alive until the future
-  // resolves.
+  // resolves. `keepalive` (optional) is held by the scheduled task and
+  // released on the worker AFTER the task has been accounted done — the
+  // EngineRegistry passes the tenant handle here so an Unregister cannot
+  // destroy the engine under a still-queued async solve.
   std::future<Result<Solution>> SubmitSolve(
-      const ProblemSpec& spec, const SolveOptions& options = SolveOptions());
+      const ProblemSpec& spec, const SolveOptions& options = SolveOptions(),
+      std::shared_ptr<const void> keepalive = nullptr);
 
   // Snapshot of cache counters (thread-safe).
   CacheStats cache_stats() const;
+
+  // --- Byte accounting, the registry-facing face of the cache. -------------
+  // An EngineRegistry drives cross-tenant eviction through these three
+  // (they are ordinary thread-safe public API — tests use them too).
+
+  // Bytes held by completed cache entries, tracked incrementally (equals
+  // cache_stats().ensemble_bytes + sketch_bytes without walking the cache).
+  size_t resident_bytes() const;
+
+  // One completed, byte-holding cache entry as the eviction policy sees it.
+  struct ResidentEntry {
+    bool found = false;
+    uint64_t last_used = 0;  // LRU-clock reading at the entry's last touch
+    size_t bytes = 0;
+  };
+
+  // The least-recently-used completed entry whose eviction would keep
+  // resident_bytes() >= min_resident_bytes (the per-tenant floor);
+  // found == false when no entry qualifies. Entries still building hold no
+  // recorded bytes yet and are never reported.
+  ResidentEntry OldestEvictable(size_t min_resident_bytes = 0) const;
+
+  // Evicts the entry OldestEvictable(min_resident_bytes) describes and
+  // returns the bytes freed (0 when nothing qualifies, e.g. because the
+  // floor blocks every candidate or the cache is empty).
+  size_t EvictOldestEvictable(size_t min_resident_bytes = 0);
 
   // Drops every cached backend; the next solve per key rebuilds. Counters
   // other than `invalidations` are preserved.
@@ -236,10 +293,29 @@ class Engine {
     BackendKind kind;
     // Monotonic insertion id: a failed builder erases its entry only if
     // the key still holds THIS generation (the entry may have been
-    // evicted and re-created by a healthy build in the meantime).
+    // evicted and re-created by a healthy build in the meantime). The same
+    // check gates the post-build byte recording.
     uint64_t generation = 0;
+    // Heap footprint recorded when the build finishes (0 while building,
+    // and for world entries that fell back to hash-on-the-fly sampling).
+    size_t bytes = 0;
+    // LRU-clock reading at the last hit/insert; comparable across engines
+    // sharing EngineOptions::lru_clock.
+    uint64_t last_used = 0;
     std::shared_future<BackendValue> backend;
   };
+
+  // A fresh reading of the LRU clock (shared or engine-local).
+  uint64_t NextTick() const;
+
+  // Drops `it`'s entry, maintaining the LRU list, the resident-bytes total
+  // and the eviction counter. Requires cache_mutex_.
+  void EvictEntryLocked(std::map<std::string, CacheEntry>::iterator it);
+
+  // Evicts least-recently-used byte-holding entries (never `protect_key`)
+  // until resident_bytes_ fits options_.max_ensemble_bytes. Requires
+  // cache_mutex_.
+  void EnforceByteBudgetLocked(const std::string& protect_key);
 
   // The worker pool for a top-level call: options.pool, else the engine's.
   ThreadPool& PoolFor(const SolveOptions& options) const;
@@ -310,7 +386,10 @@ class Engine {
   std::list<std::string> lru_;  // most recently used first
   std::map<std::string, CacheEntry> cache_;
   uint64_t next_generation_ = 0;  // guarded by cache_mutex_
+  size_t resident_bytes_ = 0;     // guarded by cache_mutex_
   CacheStats stats_;
+  // Engine-local LRU clock, used when options_.lru_clock is unset.
+  mutable std::atomic<uint64_t> local_clock_{0};
 
   // In-flight SubmitSolve tasks; the destructor waits for them.
   mutable std::mutex pending_mutex_;

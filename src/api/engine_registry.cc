@@ -1,0 +1,333 @@
+#include "api/engine_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace tcim {
+namespace {
+
+// Field-wise accumulation of one tenant's CacheStats into the totals.
+void Accumulate(const CacheStats& tenant, CacheStats& totals) {
+  totals.hits += tenant.hits;
+  totals.misses += tenant.misses;
+  totals.constructions += tenant.constructions;
+  totals.evictions += tenant.evictions;
+  totals.invalidations += tenant.invalidations;
+  totals.entries += tenant.entries;
+  totals.ensemble_bytes += tenant.ensemble_bytes;
+  totals.world_entries += tenant.world_entries;
+  totals.sketch_entries += tenant.sketch_entries;
+  totals.sketch_bytes += tenant.sketch_bytes;
+  totals.world_constructions += tenant.world_constructions;
+  totals.sketch_constructions += tenant.sketch_constructions;
+}
+
+}  // namespace
+
+std::string RegistryStats::DebugString() const {
+  std::string out = StrFormat(
+      "tenants=%zu resident_bytes=%zu", tenants.size(), resident_bytes);
+  if (max_total_bytes != std::numeric_limits<size_t>::max()) {
+    out += StrFormat("/%zu", max_total_bytes);
+  }
+  out += StrFormat(" cross_tenant_evictions=%lld totals: %s",
+                   static_cast<long long>(cross_tenant_evictions),
+                   totals.DebugString().c_str());
+  for (const Tenant& tenant : tenants) {
+    out += StrFormat("\n  %s: resident_bytes=%zu floor=%zu %s",
+                     tenant.id.c_str(), tenant.resident_bytes,
+                     tenant.min_resident_bytes,
+                     tenant.cache.DebugString().c_str());
+  }
+  return out;
+}
+
+// One tenant: the registry's copy of the network, its engine, and the
+// bookkeeping that lets the registry destructor wait for stragglers. The
+// LiveToken is declared FIRST so it is destroyed LAST — the "tenant gone"
+// signal fires only after ~Engine has drained the tenant's pending async
+// solves (which may still invoke registry callbacks).
+struct EngineRegistry::Tenant {
+  struct LiveToken {
+    EngineRegistry* registry;
+    explicit LiveToken(EngineRegistry* r) : registry(r) {
+      registry->OnTenantCreated();
+    }
+    ~LiveToken() { registry->OnTenantDestroyed(); }
+    LiveToken(const LiveToken&) = delete;
+    LiveToken& operator=(const LiveToken&) = delete;
+  };
+
+  LiveToken token;
+  std::string id;
+  TenantOptions options;
+  Graph graph;
+  GroupAssignment groups;
+  // Engine keeps references into graph/groups above, so it is constructed
+  // only once they sit at their final address (and destroyed before them).
+  std::optional<Engine> engine;
+
+  Tenant(EngineRegistry* registry, std::string tenant_id, Graph g,
+         GroupAssignment gr, const TenantOptions& tenant_options)
+      : token(registry),
+        id(std::move(tenant_id)),
+        options(tenant_options),
+        graph(std::move(g)),
+        groups(std::move(gr)) {
+    EngineOptions engine_options = options.engine;
+    engine_options.pool = &registry->pool_;
+    engine_options.lru_clock = &registry->lru_clock_;
+    engine_options.resident_bytes_changed = [registry] {
+      registry->EnforceGlobalBudget();
+    };
+    if (!engine_options.backend_build_hook_for_test) {
+      engine_options.backend_build_hook_for_test =
+          registry->options_.backend_build_hook_for_test;
+    }
+    engine.emplace(graph, groups, engine_options);
+  }
+};
+
+EngineRegistry::EngineRegistry(const RegistryOptions& options)
+    : options_(options),
+      pool_(options.num_threads > 0 ? static_cast<size_t>(options.num_threads)
+                                    : 0) {
+  TCIM_CHECK(options_.num_threads >= 0) << "num_threads must be >= 0";
+}
+
+EngineRegistry::~EngineRegistry() {
+  // Drop the registry's references OUTSIDE mutex_: a tenant destroyed here
+  // drains its async solves, whose builds may call EnforceGlobalBudget —
+  // which takes mutex_.
+  std::map<std::string, std::shared_ptr<Tenant>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained.swap(tenants_);
+  }
+  drained.clear();
+  // Now wait out tenants still pinned by caller-held handles; engine
+  // callbacks capture `this`, so the registry must outlive every tenant.
+  std::unique_lock<std::mutex> live(live_mutex_);
+  live_cv_.wait(live, [this] { return live_tenants_ == 0; });
+}
+
+void EngineRegistry::OnTenantCreated() {
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  ++live_tenants_;
+}
+
+void EngineRegistry::OnTenantDestroyed() {
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  --live_tenants_;
+  live_cv_.notify_all();
+}
+
+Status EngineRegistry::Register(const std::string& id, Graph graph,
+                                GroupAssignment groups,
+                                const TenantOptions& tenant_options) {
+  if (id.empty()) {
+    return InvalidArgumentError("tenant id must not be empty");
+  }
+  if (groups.num_nodes() != graph.num_nodes()) {
+    return InvalidArgumentError(StrFormat(
+        "tenant \"%s\": group assignment covers %d nodes but the graph has "
+        "%d",
+        id.c_str(), groups.num_nodes(), graph.num_nodes()));
+  }
+  // Constructed outside the lock (engine construction samples nothing);
+  // a losing race below just destroys it again.
+  auto tenant = std::make_shared<Tenant>(this, id, std::move(graph),
+                                         std::move(groups), tenant_options);
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inserted = tenants_.emplace(id, tenant).second;
+  }
+  if (inserted) return Status::Ok();
+  // The losing tenant is destroyed when `tenant` goes out of scope here —
+  // outside mutex_, like every other tenant teardown.
+  return FailedPreconditionError(StrFormat(
+      "tenant \"%s\" is already registered; Unregister it first", id.c_str()));
+}
+
+Status EngineRegistry::Unregister(const std::string& id) {
+  std::shared_ptr<Tenant> victim;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(id);
+    if (it == tenants_.end()) return UnknownTenantError(id);
+    victim = std::move(it->second);
+    tenants_.erase(it);
+  }
+  // `victim` released outside mutex_ — when this was the last handle, the
+  // engine destructor (draining async solves whose builds can re-enter
+  // EnforceGlobalBudget) runs here.
+  return Status::Ok();
+}
+
+std::shared_ptr<EngineRegistry::Tenant> EngineRegistry::FindTenant(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+Status EngineRegistry::UnknownTenantError(const std::string& id) const {
+  return NotFoundError(
+      StrFormat("no tenant \"%s\" is registered", id.c_str()));
+}
+
+std::shared_ptr<Engine> EngineRegistry::Get(const std::string& id) const {
+  std::shared_ptr<Tenant> tenant = FindTenant(id);
+  if (tenant == nullptr) return nullptr;
+  // Aliasing handle: exposes the engine, owns the whole tenant.
+  return std::shared_ptr<Engine>(tenant, &*tenant->engine);
+}
+
+size_t EngineRegistry::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.size();
+}
+
+std::vector<std::string> EngineRegistry::TenantIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) ids.push_back(id);
+  return ids;
+}
+
+Result<Solution> EngineRegistry::Solve(const std::string& id,
+                                       const ProblemSpec& spec,
+                                       const SolveOptions& options) {
+  std::shared_ptr<Tenant> tenant = FindTenant(id);
+  if (tenant == nullptr) return UnknownTenantError(id);
+  return tenant->engine->Solve(spec, options);
+}
+
+Result<GroupUtilityReport> EngineRegistry::EvaluateSeeds(
+    const std::string& id, const std::vector<NodeId>& seeds,
+    const ProblemSpec& spec, const SolveOptions& options) {
+  std::shared_ptr<Tenant> tenant = FindTenant(id);
+  if (tenant == nullptr) return UnknownTenantError(id);
+  return tenant->engine->EvaluateSeeds(seeds, spec, options);
+}
+
+std::vector<Result<Solution>> EngineRegistry::SolveBatch(
+    const std::string& id, std::span<const ProblemSpec> specs,
+    const SolveOptions& options) {
+  std::shared_ptr<Tenant> tenant = FindTenant(id);
+  if (tenant != nullptr) return tenant->engine->SolveBatch(specs, options);
+  // Mirror Engine::SolveBatch's shape: one status per spec.
+  return std::vector<Result<Solution>>(specs.size(),
+                                       Result<Solution>(UnknownTenantError(id)));
+}
+
+Engine::SweepResult EngineRegistry::SolveSweep(const std::string& id,
+                                               const ProblemSpec& spec,
+                                               const std::vector<int>& deadlines,
+                                               const SolveOptions& options) {
+  std::shared_ptr<Tenant> tenant = FindTenant(id);
+  if (tenant != nullptr) {
+    return tenant->engine->SolveSweep(spec, deadlines, options);
+  }
+  // Mirror the rejected-sweep shape: at least one failed, zip-aligned pair.
+  Engine::SweepResult result;
+  result.deadlines = deadlines;
+  result.solutions.assign(std::max<size_t>(deadlines.size(), 1),
+                          Result<Solution>(UnknownTenantError(id)));
+  if (result.deadlines.empty()) result.deadlines.assign(1, 0);
+  return result;
+}
+
+std::future<Result<Solution>> EngineRegistry::SubmitSolve(
+    const std::string& id, const ProblemSpec& spec,
+    const SolveOptions& options) {
+  std::shared_ptr<Tenant> tenant = FindTenant(id);
+  if (tenant == nullptr) {
+    std::promise<Result<Solution>> rejected;
+    rejected.set_value(UnknownTenantError(id));
+    return rejected.get_future();
+  }
+  // The tenant handle rides in the scheduled task, so an Unregister racing
+  // this submission cannot destroy the engine under the queued solve.
+  Engine& engine = *tenant->engine;
+  return engine.SubmitSolve(spec, options, std::move(tenant));
+}
+
+Status EngineRegistry::Invalidate(const std::string& id) {
+  std::shared_ptr<Tenant> tenant = FindTenant(id);
+  if (tenant == nullptr) return UnknownTenantError(id);
+  tenant->engine->Invalidate();
+  return Status::Ok();
+}
+
+RegistryStats EngineRegistry::Stats() const {
+  RegistryStats stats;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.max_total_bytes = options_.max_total_bytes;
+  stats.cross_tenant_evictions = cross_tenant_evictions_;
+  stats.tenants.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) {
+    RegistryStats::Tenant entry;
+    entry.id = id;
+    entry.cache = tenant->engine->cache_stats();
+    // Derived from the same snapshot (not a second engine lock), so the
+    // documented resident == ensemble + sketch equality always holds
+    // within one Stats() result.
+    entry.resident_bytes =
+        entry.cache.ensemble_bytes + entry.cache.sketch_bytes;
+    entry.min_resident_bytes = tenant->options.min_resident_bytes;
+    stats.resident_bytes += entry.resident_bytes;
+    Accumulate(entry.cache, stats.totals);
+    stats.tenants.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+size_t EngineRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [id, tenant] : tenants_) {
+    total += tenant->engine->resident_bytes();
+  }
+  return total;
+}
+
+void EngineRegistry::EnforceGlobalBudget() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One total per pass, decremented by the bytes each eviction frees;
+  // concurrent builds can drift it, and the drift is settled by the pass
+  // their own landing triggers.
+  size_t total = 0;
+  for (const auto& [id, tenant] : tenants_) {
+    total += tenant->engine->resident_bytes();
+  }
+  while (total > options_.max_total_bytes) {
+    // Global LRU with per-tenant floors: each tenant nominates its own
+    // least-recently-used evictable entry; the stalest nomination loses.
+    Tenant* victim = nullptr;
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (const auto& [id, tenant] : tenants_) {
+      const Engine::ResidentEntry candidate =
+          tenant->engine->OldestEvictable(tenant->options.min_resident_bytes);
+      if (candidate.found && candidate.last_used < oldest) {
+        oldest = candidate.last_used;
+        victim = tenant.get();
+      }
+    }
+    if (victim == nullptr) return;  // every remaining byte is floor-protected
+    const size_t freed = victim->engine->EvictOldestEvictable(
+        victim->options.min_resident_bytes);
+    if (freed == 0) {
+      return;  // raced away between nomination and eviction; the next
+               // build's pass will settle it
+    }
+    total -= std::min(freed, total);
+    ++cross_tenant_evictions_;
+  }
+}
+
+}  // namespace tcim

@@ -1,0 +1,234 @@
+// tcim::EngineRegistry — a multi-tenant shard of Engines, one per graph.
+//
+// A service holding many networks (one per campaign / community — the
+// fig07–fig10 dataset shapes) used to hand-manage N Engines, N worker
+// pools and N unbounded backend caches. The registry owns all three
+// concerns at once:
+//
+//   * a thread-safe map tenant id -> Engine, each tenant owning its graph
+//     and group assignment (Register copies or moves them in, so callers
+//     need not keep anything alive);
+//   * ONE shared worker pool, injected into every tenant engine through
+//     the EngineOptions::pool seam — a 64-tenant registry runs on one
+//     pool's threads, not 64 x N;
+//   * a GLOBAL resident-bytes budget across every tenant's backend cache.
+//     All engines stamp cache touches from one shared LRU clock, so when
+//     the registry is over budget the least-recently-used entry ANYWHERE
+//     loses — except that each tenant keeps at least its
+//     TenantOptions::min_resident_bytes floor resident. Enforcement runs
+//     synchronously on the thread that finished the build (through
+//     EngineOptions::resident_bytes_changed), so a single-threaded caller
+//     observes resident_bytes() <= max_total_bytes after every solve
+//     (floors permitting: if every remaining entry is floor-protected the
+//     budget can stay exceeded — Stats() makes that visible).
+//
+//   tcim::EngineRegistry registry(options);
+//   registry.Register("rice", std::move(rice.graph), std::move(rice.groups));
+//   registry.Register("insta", insta.graph, insta.groups, tenant_options);
+//   auto solution = registry.Solve("rice", spec);      // == Engine::Solve
+//   auto pending = registry.SubmitSolve("insta", spec);
+//   registry.Stats();                                  // per-tenant + totals
+//
+// Results are bit-identical to a standalone Engine over the same graph:
+// the registry adds routing, pooling and budget enforcement, never
+// numerics (tests/engine_registry_test.cc pins the full problem x oracle
+// agreement matrix).
+//
+// Lifetime: Get() returns a handle that keeps the tenant (graph, groups,
+// engine) alive, so solving through a handle is safe against a concurrent
+// Unregister — the tenant is destroyed when the registry entry AND the
+// last handle are gone. SubmitSolve through the registry rides the tenant
+// handle inside the scheduled task for the same reason. Handles must not
+// outlive the registry itself: the registry destructor blocks until every
+// tenant (registered or draining) has been destroyed.
+//
+// Thread safety: every member function may be called concurrently from
+// any thread (tests/registry_stress_test.cc hammers Solve / SubmitSolve /
+// Invalidate / Unregister races under a tiny budget).
+
+#ifndef TCIM_API_ENGINE_REGISTRY_H_
+#define TCIM_API_ENGINE_REGISTRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/problem_spec.h"
+#include "api/solution.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "graph/groups.h"
+
+namespace tcim {
+
+// Per-tenant configuration, fixed at Register time.
+struct TenantOptions {
+  // Cache bytes this tenant keeps resident even when the registry evicts
+  // across tenants to meet RegistryOptions::max_total_bytes: the global
+  // pass never drops an entry that would leave the tenant below this
+  // floor. 0 (the default) protects nothing.
+  size_t min_resident_bytes = 0;
+
+  // Base Engine configuration for the tenant — max_cached_backends and
+  // max_ensemble_bytes act as the PER-TENANT cache budget on top of the
+  // registry's global one. The registry overrides `pool` (shared pool),
+  // `lru_clock` (shared clock) and `resident_bytes_changed` (global-budget
+  // trigger); `backend_build_hook_for_test` falls back to the
+  // registry-wide hook when unset.
+  EngineOptions engine;
+};
+
+struct RegistryOptions {
+  // Global resident-bytes budget summed over every registered tenant's
+  // backend cache. The default is unbounded (per-tenant budgets still
+  // apply). Tenants unregistered but kept alive by outstanding handles no
+  // longer count toward (or are evicted for) the global budget.
+  size_t max_total_bytes = std::numeric_limits<size_t>::max();
+
+  // Thread count of the ONE worker pool shared by every tenant engine;
+  // 0 picks std::thread::hardware_concurrency().
+  int num_threads = 0;
+
+  // Installed as backend_build_hook_for_test on every tenant engine that
+  // does not bring its own — lets a stress test inject slow / failing
+  // builds across the whole registry at once.
+  std::function<void()> backend_build_hook_for_test;
+};
+
+// Stats() snapshot: per-tenant cache stats plus registry-level aggregates.
+struct RegistryStats {
+  struct Tenant {
+    std::string id;
+    CacheStats cache;
+    size_t resident_bytes = 0;
+    size_t min_resident_bytes = 0;
+  };
+  std::vector<Tenant> tenants;  // ordered by id
+
+  // Field-wise sum of every tenant's CacheStats.
+  CacheStats totals;
+
+  // Sum of per-tenant resident bytes, and the budget it is held under.
+  size_t resident_bytes = 0;
+  size_t max_total_bytes = 0;
+
+  // Entries the GLOBAL budget pass evicted across tenants (each also
+  // counts in its own tenant's cache.evictions, alongside that engine's
+  // count-cap and per-tenant-budget drops).
+  int64_t cross_tenant_evictions = 0;
+
+  // One-line "tenants=3 resident=1.2MiB/2MiB cross_evictions=4 ..." plus
+  // one indented line per tenant.
+  std::string DebugString() const;
+};
+
+class EngineRegistry {
+ public:
+  explicit EngineRegistry(const RegistryOptions& options = RegistryOptions());
+  // Blocks until every tenant — registered or draining behind outstanding
+  // handles — has been destroyed (each Engine destructor in turn waits
+  // for its pending async solves).
+  ~EngineRegistry();
+
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+
+  const RegistryOptions& options() const { return options_; }
+
+  // Registers `id` over its own copy of (graph, groups). Fails with
+  // FailedPrecondition when the id is already registered, InvalidArgument
+  // on an empty id or a graph/groups node-count mismatch.
+  Status Register(const std::string& id, Graph graph, GroupAssignment groups,
+                  const TenantOptions& tenant_options = TenantOptions());
+
+  // Removes `id` from the registry. Outstanding Get() handles (and queued
+  // SubmitSolve tasks) keep the tenant alive until they drain; new lookups
+  // fail immediately. NotFound when the id is unknown.
+  Status Unregister(const std::string& id);
+
+  // A shared handle on the tenant's engine, or nullptr when `id` is not
+  // registered. The handle pins graph, groups and engine — safe against a
+  // concurrent Unregister for as long as it is held.
+  std::shared_ptr<Engine> Get(const std::string& id) const;
+
+  size_t num_tenants() const;
+  std::vector<std::string> TenantIds() const;  // sorted
+
+  // --- Pass-throughs: exactly Engine::X on tenant `id`. --------------------
+  // An unknown id fails with the same precise NotFound Status everywhere,
+  // shaped like the engine's own error contract for that call (per-spec
+  // entries for SolveBatch, an at-least-one aligned pair for SolveSweep, a
+  // ready future for SubmitSolve).
+  Result<Solution> Solve(const std::string& id, const ProblemSpec& spec,
+                         const SolveOptions& options = SolveOptions());
+  Result<GroupUtilityReport> EvaluateSeeds(
+      const std::string& id, const std::vector<NodeId>& seeds,
+      const ProblemSpec& spec, const SolveOptions& options = SolveOptions());
+  std::vector<Result<Solution>> SolveBatch(
+      const std::string& id, std::span<const ProblemSpec> specs,
+      const SolveOptions& options = SolveOptions());
+  Engine::SweepResult SolveSweep(const std::string& id,
+                                 const ProblemSpec& spec,
+                                 const std::vector<int>& deadlines,
+                                 const SolveOptions& options = SolveOptions());
+  std::future<Result<Solution>> SubmitSolve(
+      const std::string& id, const ProblemSpec& spec,
+      const SolveOptions& options = SolveOptions());
+
+  // Engine::Invalidate on tenant `id`; NotFound when unknown.
+  Status Invalidate(const std::string& id);
+
+  // Per-tenant and aggregate cache observability (thread-safe snapshot).
+  RegistryStats Stats() const;
+
+  // Sum of registered tenants' resident cache bytes right now.
+  size_t resident_bytes() const;
+
+  // Runs the global budget pass: while the registry is over
+  // max_total_bytes, evict the least-recently-used entry across all
+  // tenants whose eviction respects its tenant's min_resident_bytes floor;
+  // stops when within budget or every candidate is floor-protected.
+  // Invoked automatically after every backend build; public so tests and
+  // operators can force a pass (idempotent when within budget).
+  void EnforceGlobalBudget();
+
+ private:
+  struct Tenant;
+
+  std::shared_ptr<Tenant> FindTenant(const std::string& id) const;
+  Status UnknownTenantError(const std::string& id) const;
+
+  void OnTenantCreated();
+  void OnTenantDestroyed();
+
+  RegistryOptions options_;
+  ThreadPool pool_;
+  // The shared LRU clock every tenant engine stamps cache touches from.
+  mutable std::atomic<uint64_t> lru_clock_{0};
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+  int64_t cross_tenant_evictions_ = 0;  // guarded by mutex_
+
+  // Live Tenant objects (registered + draining); ~EngineRegistry waits for
+  // zero so engine callbacks can capture `this` safely.
+  mutable std::mutex live_mutex_;
+  std::condition_variable live_cv_;
+  int live_tenants_ = 0;  // guarded by live_mutex_
+};
+
+}  // namespace tcim
+
+#endif  // TCIM_API_ENGINE_REGISTRY_H_

@@ -16,13 +16,15 @@
 //
 // Everything a client needs — ProblemSpec, Solve(), Solution, the
 // serving-oriented Engine (cached backends, batched and async solves), the
-// SolverRegistry (for custom solvers), the CLI flag bridge, datasets, and
-// graph/group IO — is reachable from this one include; link `tcim_api`.
+// multi-tenant EngineRegistry (many graphs, one pool, one byte budget),
+// the SolverRegistry (for custom solvers), the CLI flag bridge, datasets,
+// and graph/group IO — is reachable from this one include; link `tcim_api`.
 
 #ifndef TCIM_API_TCIM_H_
 #define TCIM_API_TCIM_H_
 
 #include "api/engine.h"
+#include "api/engine_registry.h"
 #include "api/problem_spec.h"
 #include "api/solution.h"
 #include "api/solve.h"

@@ -142,7 +142,11 @@ class RrSketch {
   double GroupWeight(GroupId g) const { return group_weight_[g]; }
 
   // Actual heap footprint of the sketch arrays (members + hop annotations
-  // + inverted index), for the Engine's cache byte accounting.
+  // + inverted index), measured the same way as
+  // WorldEnsemble::ApproxBytes (allocated capacity of every owned array):
+  // sketch bytes count toward the Engine's unified max_ensemble_bytes
+  // budget and the EngineRegistry's cross-tenant budget, so the two
+  // backend kinds' accounting must be directly comparable.
   size_t ApproxBytes() const;
 
  private:

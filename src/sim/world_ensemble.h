@@ -104,7 +104,11 @@ class WorldEnsemble {
   // Live edges summed over all worlds.
   uint64_t total_live_edges() const { return edges_.size(); }
 
-  // Actual heap footprint of the materialized arrays.
+  // Actual heap footprint of the materialized arrays, measured the same
+  // way as RrSketch::ApproxBytes (allocated capacity of every owned
+  // array): the two backend kinds compete in ONE unified byte budget
+  // (api/engine.h max_ensemble_bytes, EngineRegistry's global budget), so
+  // their accounting must be directly comparable.
   size_t ApproxBytes() const {
     return edges_.capacity() * sizeof(LiveEdge) +
            offsets_.capacity() * sizeof(uint64_t);

@@ -1,0 +1,481 @@
+// EngineRegistry semantics: a multi-tenant registry must route every call
+// to the right tenant with bit-identical results to a standalone Engine
+// (the full problem x oracle agreement matrix), keep handles safe against
+// concurrent Unregister, report precise Statuses for duplicate / unknown
+// ids, aggregate per-tenant cache stats, share ONE worker pool and LRU
+// clock across tenants, and enforce the global byte budget by evicting
+// the least-recently-used entry ANYWHERE — while honoring each tenant's
+// min_resident_bytes floor.
+
+#include "api/engine_registry.h"
+
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/tcim.h"
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+class EngineRegistryTest : public ::testing::Test {
+ protected:
+  EngineRegistryTest() { options_.num_worlds = 40; }
+
+  // Deterministic: one seed -> one graph, so a tenant and a standalone
+  // Engine built from the same seed run on identical networks.
+  static GroupedGraph MakeGraph(uint64_t seed = 7) {
+    Rng rng(seed);
+    return datasets::SyntheticDefault(rng);
+  }
+
+  static constexpr int kDeadline = 20;
+
+  SolveOptions options_;
+};
+
+TEST_F(EngineRegistryTest, RegisterGetUnregisterLifecycle) {
+  EngineRegistry registry;
+  EXPECT_EQ(registry.num_tenants(), 0u);
+  EXPECT_EQ(registry.Get("rice"), nullptr);
+
+  GroupedGraph a = MakeGraph(1);
+  GroupedGraph b = MakeGraph(2);
+  ASSERT_TRUE(registry.Register("rice", a.graph, a.groups).ok());
+  ASSERT_TRUE(
+      registry.Register("insta", std::move(b.graph), std::move(b.groups)).ok());
+  EXPECT_EQ(registry.num_tenants(), 2u);
+  EXPECT_EQ(registry.TenantIds(), (std::vector<std::string>{"insta", "rice"}));
+
+  const std::shared_ptr<Engine> engine = registry.Get("rice");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->graph().num_nodes(), a.graph.num_nodes());
+
+  ASSERT_TRUE(registry.Unregister("rice").ok());
+  EXPECT_EQ(registry.Get("rice"), nullptr);
+  EXPECT_EQ(registry.num_tenants(), 1u);
+
+  // An unregistered id can be registered again (a fresh tenant).
+  GroupedGraph a2 = MakeGraph(1);
+  EXPECT_TRUE(registry.Register("rice", a2.graph, a2.groups).ok());
+}
+
+TEST_F(EngineRegistryTest, DuplicateAndInvalidRegistrationsArePreciseStatuses) {
+  EngineRegistry registry;
+  GroupedGraph gg = MakeGraph();
+  ASSERT_TRUE(registry.Register("t", gg.graph, gg.groups).ok());
+
+  const Status duplicate = registry.Register("t", gg.graph, gg.groups);
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(duplicate.message().find("\"t\""), std::string::npos);
+  EXPECT_EQ(registry.num_tenants(), 1u);  // the duplicate did not clobber
+
+  const Status empty_id = registry.Register("", gg.graph, gg.groups);
+  ASSERT_FALSE(empty_id.ok());
+  EXPECT_EQ(empty_id.code(), StatusCode::kInvalidArgument);
+
+  const Status arity = registry.Register(
+      "mismatched", gg.graph, GroupAssignment::SingleGroup(3));
+  ASSERT_FALSE(arity.ok());
+  EXPECT_EQ(arity.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(arity.message().find("3"), std::string::npos);
+
+  const Status unknown = registry.Unregister("nobody");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineRegistryTest, UnknownIdFailsEveryPassThroughWithNotFound) {
+  EngineRegistry registry;
+  const ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+
+  const Result<Solution> solve = registry.Solve("ghost", spec, options_);
+  ASSERT_FALSE(solve.ok());
+  EXPECT_EQ(solve.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(solve.status().message().find("\"ghost\""), std::string::npos);
+
+  const Result<GroupUtilityReport> audit =
+      registry.EvaluateSeeds("ghost", {0, 1}, spec, options_);
+  ASSERT_FALSE(audit.ok());
+  EXPECT_EQ(audit.status().code(), StatusCode::kNotFound);
+
+  // SolveBatch keeps its one-status-per-spec shape.
+  const std::vector<ProblemSpec> specs = {spec, spec};
+  const std::vector<Result<Solution>> batch =
+      registry.SolveBatch("ghost", specs, options_);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& result : batch) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  }
+
+  // SolveSweep keeps the at-least-one aligned failed pair contract.
+  const Engine::SweepResult sweep =
+      registry.SolveSweep("ghost", spec, {}, options_);
+  ASSERT_EQ(sweep.solutions.size(), 1u);
+  ASSERT_EQ(sweep.deadlines.size(), 1u);
+  ASSERT_FALSE(sweep.solutions[0].ok());
+  EXPECT_EQ(sweep.solutions[0].status().code(), StatusCode::kNotFound);
+
+  const Result<Solution> submitted =
+      registry.SubmitSolve("ghost", spec, options_).get();
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kNotFound);
+
+  const Status invalidate = registry.Invalidate("ghost");
+  ASSERT_FALSE(invalidate.ok());
+  EXPECT_EQ(invalidate.code(), StatusCode::kNotFound);
+}
+
+// The acceptance matrix: Registry.Solve(id, spec) must be bit-identical to
+// a standalone Engine over the same network, for every problem kind x
+// oracle backend — the registry adds routing and pooling, never numerics.
+TEST_F(EngineRegistryTest, SolveMatchesStandaloneEngineAcrossTheMatrix) {
+  GroupedGraph registry_gg = MakeGraph();
+  GroupedGraph direct_gg = MakeGraph();
+
+  EngineRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("t", std::move(registry_gg.graph),
+                            std::move(registry_gg.groups))
+                  .ok());
+  Engine direct(direct_gg.graph, direct_gg.groups);
+
+  SolveOptions solve_options = options_;
+  solve_options.rr_sets_per_group = 300;
+
+  for (const std::string& oracle : {"montecarlo", "arrival", "rr"}) {
+    for (ProblemSpec spec :
+         {ProblemSpec::Budget(8, kDeadline),
+          ProblemSpec::FairBudget(8, kDeadline),
+          ProblemSpec::Cover(0.12, kDeadline),
+          ProblemSpec::FairCover(0.12, kDeadline),
+          ProblemSpec::Maximin(4, kDeadline)}) {
+      spec.oracle = oracle;
+      SCOPED_TRACE(std::string(ProblemKindName(spec.kind)) + " x " + oracle);
+
+      const Result<Solution> via_registry =
+          registry.Solve("t", spec, solve_options);
+      const Result<Solution> via_engine = direct.Solve(spec, solve_options);
+      ASSERT_TRUE(via_registry.ok()) << via_registry.status().ToString();
+      ASSERT_TRUE(via_engine.ok()) << via_engine.status().ToString();
+      EXPECT_EQ(via_registry->seeds, via_engine->seeds);
+      EXPECT_DOUBLE_EQ(via_registry->objective_value,
+                       via_engine->objective_value);
+      ASSERT_TRUE(via_registry->evaluation.has_value());
+      ASSERT_TRUE(via_engine->evaluation.has_value());
+      EXPECT_EQ(via_registry->evaluation->coverage,
+                via_engine->evaluation->coverage);
+    }
+  }
+
+  // The audit pass-through agrees too.
+  const ProblemSpec audit_spec = ProblemSpec::Budget(5, kDeadline);
+  const std::vector<NodeId> seeds = {0, 5, 17};
+  const Result<GroupUtilityReport> via_registry =
+      registry.EvaluateSeeds("t", seeds, audit_spec, options_);
+  const Result<GroupUtilityReport> via_engine =
+      direct.EvaluateSeeds(seeds, audit_spec, options_);
+  ASSERT_TRUE(via_registry.ok());
+  ASSERT_TRUE(via_engine.ok());
+  EXPECT_EQ(via_registry->coverage, via_engine->coverage);
+  EXPECT_DOUBLE_EQ(via_registry->total, via_engine->total);
+}
+
+TEST_F(EngineRegistryTest, BatchAndSweepPassThroughsMatchTheEngine) {
+  GroupedGraph registry_gg = MakeGraph();
+  GroupedGraph direct_gg = MakeGraph();
+  EngineRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("t", std::move(registry_gg.graph),
+                            std::move(registry_gg.groups))
+                  .ok());
+  Engine direct(direct_gg.graph, direct_gg.groups);
+
+  const std::vector<ProblemSpec> specs = {
+      ProblemSpec::Budget(8, kDeadline), ProblemSpec::Maximin(4, kDeadline)};
+  const std::vector<Result<Solution>> via_registry =
+      registry.SolveBatch("t", specs, options_);
+  const std::vector<Result<Solution>> via_engine =
+      direct.SolveBatch(specs, options_);
+  ASSERT_EQ(via_registry.size(), via_engine.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(via_registry[i].ok());
+    ASSERT_TRUE(via_engine[i].ok());
+    EXPECT_EQ(via_registry[i]->seeds, via_engine[i]->seeds) << "spec " << i;
+  }
+
+  const std::vector<int> deadlines = {5, 10, 20};
+  const Engine::SweepResult registry_sweep =
+      registry.SolveSweep("t", ProblemSpec::Budget(8, 0), deadlines, options_);
+  const Engine::SweepResult engine_sweep =
+      direct.SolveSweep(ProblemSpec::Budget(8, 0), deadlines, options_);
+  ASSERT_EQ(registry_sweep.solutions.size(), deadlines.size());
+  for (size_t i = 0; i < deadlines.size(); ++i) {
+    ASSERT_TRUE(registry_sweep.solutions[i].ok());
+    ASSERT_TRUE(engine_sweep.solutions[i].ok());
+    EXPECT_EQ(registry_sweep.solutions[i]->seeds,
+              engine_sweep.solutions[i]->seeds)
+        << "tau " << deadlines[i];
+  }
+
+  const Result<Solution> submitted =
+      registry.SubmitSolve("t", specs[0], options_).get();
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_EQ(submitted->seeds, via_engine[0]->seeds);
+}
+
+TEST_F(EngineRegistryTest, HandleStaysUsableAcrossUnregister) {
+  EngineRegistry registry;
+  GroupedGraph gg = MakeGraph();
+  ASSERT_TRUE(
+      registry.Register("t", std::move(gg.graph), std::move(gg.groups)).ok());
+
+  const std::shared_ptr<Engine> handle = registry.Get("t");
+  ASSERT_NE(handle, nullptr);
+  const ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+  const Result<Solution> before = handle->Solve(spec, options_);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(registry.Unregister("t").ok());
+  EXPECT_EQ(registry.Get("t"), nullptr);
+
+  // The handle pins graph, groups and engine: solving still works and the
+  // cached backend is still warm.
+  const Result<Solution> after = handle->Solve(spec, options_);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->seeds, before->seeds);
+  EXPECT_GT(handle->cache_stats().hits, 0);
+}
+
+TEST_F(EngineRegistryTest, AsyncSolveSurvivesImmediateUnregister) {
+  EngineRegistry registry;
+  GroupedGraph gg = MakeGraph();
+  ASSERT_TRUE(
+      registry.Register("t", std::move(gg.graph), std::move(gg.groups)).ok());
+
+  // The queued task holds the tenant handle, so tearing the registration
+  // down right away must not invalidate the in-flight solve.
+  std::future<Result<Solution>> pending =
+      registry.SubmitSolve("t", ProblemSpec::Budget(5, kDeadline), options_);
+  ASSERT_TRUE(registry.Unregister("t").ok());
+  const Result<Solution> solution = pending.get();
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_FALSE(solution->seeds.empty());
+}
+
+TEST_F(EngineRegistryTest, StatsAggregateAcrossTenants) {
+  EngineRegistry registry;
+  GroupedGraph a = MakeGraph(1);
+  GroupedGraph b = MakeGraph(2);
+  ASSERT_TRUE(
+      registry.Register("a", std::move(a.graph), std::move(a.groups)).ok());
+  ASSERT_TRUE(
+      registry.Register("b", std::move(b.graph), std::move(b.groups)).ok());
+
+  const ProblemSpec spec = ProblemSpec::Budget(5, kDeadline);
+  ASSERT_TRUE(registry.Solve("a", spec, options_).ok());
+  ASSERT_TRUE(registry.Solve("a", spec, options_).ok());  // warm hit
+  ASSERT_TRUE(registry.Solve("b", spec, options_).ok());
+
+  const RegistryStats stats = registry.Stats();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].id, "a");
+  EXPECT_EQ(stats.tenants[1].id, "b");
+
+  // Tenant a: 2 backends built (selection + evaluation), then 2 warm hits;
+  // tenant b: 2 backends built.
+  EXPECT_EQ(stats.tenants[0].cache.misses, 2);
+  EXPECT_EQ(stats.tenants[0].cache.hits, 2);
+  EXPECT_EQ(stats.tenants[1].cache.misses, 2);
+  EXPECT_EQ(stats.tenants[1].cache.hits, 0);
+  EXPECT_GT(stats.tenants[0].resident_bytes, 0u);
+
+  // Totals are the field-wise sum, resident bytes included.
+  EXPECT_EQ(stats.totals.misses, 4);
+  EXPECT_EQ(stats.totals.hits, 2);
+  EXPECT_EQ(stats.totals.entries, 4u);
+  EXPECT_EQ(stats.resident_bytes,
+            stats.tenants[0].resident_bytes + stats.tenants[1].resident_bytes);
+  EXPECT_EQ(stats.resident_bytes, registry.resident_bytes());
+  EXPECT_EQ(stats.cross_tenant_evictions, 0);
+  EXPECT_NE(stats.DebugString().find("tenants=2"), std::string::npos);
+
+  // The per-tenant snapshot matches the engine's own counters.
+  const std::shared_ptr<Engine> engine_a = registry.Get("a");
+  ASSERT_NE(engine_a, nullptr);
+  EXPECT_EQ(engine_a->cache_stats().misses, stats.tenants[0].cache.misses);
+  EXPECT_EQ(engine_a->resident_bytes(), stats.tenants[0].resident_bytes);
+}
+
+TEST_F(EngineRegistryTest, TenantsShareOnePoolAndOneLruClock) {
+  EngineRegistry registry;
+  GroupedGraph a = MakeGraph(1);
+  GroupedGraph b = MakeGraph(2);
+  ASSERT_TRUE(
+      registry.Register("a", std::move(a.graph), std::move(a.groups)).ok());
+  ASSERT_TRUE(
+      registry.Register("b", std::move(b.graph), std::move(b.groups)).ok());
+
+  const std::shared_ptr<Engine> engine_a = registry.Get("a");
+  const std::shared_ptr<Engine> engine_b = registry.Get("b");
+  ASSERT_NE(engine_a, nullptr);
+  ASSERT_NE(engine_b, nullptr);
+  EXPECT_NE(engine_a->options().pool, nullptr);
+  EXPECT_EQ(engine_a->options().pool, engine_b->options().pool);
+  EXPECT_NE(engine_a->options().lru_clock, nullptr);
+  EXPECT_EQ(engine_a->options().lru_clock, engine_b->options().lru_clock);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant eviction policy. All tenants use the SAME graph seed, so
+// every (montecarlo, evaluate=false) solve materializes one backend of
+// exactly the same byte size W — which makes the budget arithmetic, and
+// therefore the eviction order, fully deterministic.
+// ---------------------------------------------------------------------------
+
+class CrossTenantEvictionTest : public EngineRegistryTest {
+ protected:
+  CrossTenantEvictionTest() {
+    no_eval_ = options_;
+    no_eval_.evaluate = false;  // exactly ONE backend (of bytes W) per tenant
+    spec_ = ProblemSpec::Budget(5, kDeadline);
+  }
+
+  // W: the resident footprint of one tenant's single backend.
+  size_t MeasureBackendBytes() {
+    EngineRegistry probe;
+    GroupedGraph gg = MakeGraph();
+    EXPECT_TRUE(
+        probe.Register("w", std::move(gg.graph), std::move(gg.groups)).ok());
+    EXPECT_TRUE(probe.Solve("w", spec_, no_eval_).ok());
+    const size_t bytes = probe.resident_bytes();
+    EXPECT_GT(bytes, 0u);
+    return bytes;
+  }
+
+  static RegistryStats::Tenant TenantStats(const RegistryStats& stats,
+                                           const std::string& id) {
+    for (const auto& tenant : stats.tenants) {
+      if (tenant.id == id) return tenant;
+    }
+    ADD_FAILURE() << "tenant " << id << " missing from Stats()";
+    return {};
+  }
+
+  SolveOptions no_eval_;
+  ProblemSpec spec_;
+};
+
+TEST_F(CrossTenantEvictionTest, GlobalBudgetEvictsTheColdestEntryAnywhere) {
+  const size_t w = MeasureBackendBytes();
+
+  RegistryOptions registry_options;
+  registry_options.max_total_bytes = w * 5 / 2;  // room for two, not three
+  EngineRegistry registry(registry_options);
+  for (const std::string& id : {"a", "b", "c"}) {
+    GroupedGraph gg = MakeGraph();
+    ASSERT_TRUE(
+        registry.Register(id, std::move(gg.graph), std::move(gg.groups)).ok());
+  }
+
+  ASSERT_TRUE(registry.Solve("a", spec_, no_eval_).ok());
+  ASSERT_TRUE(registry.Solve("b", spec_, no_eval_).ok());
+  EXPECT_EQ(registry.resident_bytes(), 2 * w);  // both fit, nothing evicted
+  EXPECT_EQ(registry.Stats().cross_tenant_evictions, 0);
+
+  // Touch a's entry so b's becomes the globally coldest ...
+  ASSERT_TRUE(registry.Solve("a", spec_, no_eval_).ok());
+  // ... then push the registry over budget: c's build must evict B's
+  // entry — not its own, not a's.
+  ASSERT_TRUE(registry.Solve("c", spec_, no_eval_).ok());
+
+  const RegistryStats stats = registry.Stats();
+  EXPECT_EQ(stats.resident_bytes, 2 * w);
+  EXPECT_LE(stats.resident_bytes, registry_options.max_total_bytes);
+  EXPECT_EQ(stats.cross_tenant_evictions, 1);
+  EXPECT_EQ(TenantStats(stats, "a").resident_bytes, w);
+  EXPECT_EQ(TenantStats(stats, "b").resident_bytes, 0u);
+  EXPECT_EQ(TenantStats(stats, "b").cache.evictions, 1);
+  EXPECT_EQ(TenantStats(stats, "c").resident_bytes, w);
+
+  // The survivor is still warm; the victim rebuilds on its next solve.
+  ASSERT_TRUE(registry.Solve("a", spec_, no_eval_).ok());
+  EXPECT_EQ(TenantStats(registry.Stats(), "a").cache.misses, 1);
+  ASSERT_TRUE(registry.Solve("b", spec_, no_eval_).ok());
+  EXPECT_EQ(TenantStats(registry.Stats(), "b").cache.misses, 2);
+}
+
+TEST_F(CrossTenantEvictionTest, MinResidentBytesFloorShieldsATenant) {
+  const size_t w = MeasureBackendBytes();
+
+  RegistryOptions registry_options;
+  registry_options.max_total_bytes = w * 5 / 2;
+  EngineRegistry registry(registry_options);
+
+  // b is floored at its full working set; a and c are fair game.
+  TenantOptions floored;
+  floored.min_resident_bytes = w;
+  GroupedGraph gg_b = MakeGraph();
+  ASSERT_TRUE(registry
+                  .Register("b", std::move(gg_b.graph), std::move(gg_b.groups),
+                            floored)
+                  .ok());
+  for (const std::string& id : {"a", "c"}) {
+    GroupedGraph gg = MakeGraph();
+    ASSERT_TRUE(
+        registry.Register(id, std::move(gg.graph), std::move(gg.groups)).ok());
+  }
+
+  // b's entry becomes the globally coldest — but its floor protects it, so
+  // the budget pass falls through to the next-coldest: a's entry.
+  ASSERT_TRUE(registry.Solve("b", spec_, no_eval_).ok());
+  ASSERT_TRUE(registry.Solve("a", spec_, no_eval_).ok());
+  ASSERT_TRUE(registry.Solve("c", spec_, no_eval_).ok());
+
+  const RegistryStats stats = registry.Stats();
+  EXPECT_EQ(stats.resident_bytes, 2 * w);
+  EXPECT_EQ(stats.cross_tenant_evictions, 1);
+  EXPECT_EQ(TenantStats(stats, "b").resident_bytes, w);  // floored, intact
+  EXPECT_EQ(TenantStats(stats, "a").resident_bytes, 0u);  // sacrificed
+  EXPECT_EQ(TenantStats(stats, "c").resident_bytes, w);
+}
+
+TEST_F(CrossTenantEvictionTest, AllFloorsBlockedBudgetStaysExceededSafely) {
+  const size_t w = MeasureBackendBytes();
+
+  RegistryOptions registry_options;
+  registry_options.max_total_bytes = w * 3 / 2;  // only one entry fits
+  EngineRegistry registry(registry_options);
+
+  TenantOptions floored;
+  floored.min_resident_bytes = w;
+  for (const std::string& id : {"a", "b"}) {
+    GroupedGraph gg = MakeGraph();
+    ASSERT_TRUE(registry
+                    .Register(id, std::move(gg.graph), std::move(gg.groups),
+                              floored)
+                    .ok());
+  }
+
+  ASSERT_TRUE(registry.Solve("a", spec_, no_eval_).ok());
+  ASSERT_TRUE(registry.Solve("b", spec_, no_eval_).ok());
+
+  // Every byte is floor-protected: the registry tolerates the overshoot
+  // (visible in Stats) instead of violating a floor or spinning.
+  const RegistryStats stats = registry.Stats();
+  EXPECT_EQ(stats.resident_bytes, 2 * w);
+  EXPECT_GT(stats.resident_bytes, registry_options.max_total_bytes);
+  EXPECT_EQ(stats.cross_tenant_evictions, 0);
+  registry.EnforceGlobalBudget();  // idempotent, still no victim
+  EXPECT_EQ(registry.Stats().cross_tenant_evictions, 0);
+}
+
+}  // namespace
+}  // namespace tcim

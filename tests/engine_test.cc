@@ -359,9 +359,10 @@ TEST_F(EngineTest, WarmRrSolvesHitTheSketchCache) {
   ASSERT_TRUE(engine.Solve(spec, other_size).ok());
   EXPECT_EQ(engine.cache_stats().misses, 4);
 
-  // Sketches are exempt from max_ensemble_bytes (there is no hash-on-the-
-  // fly fallback for them): a zero cap must still materialize and solve
-  // identically.
+  // Sketches have no hash-on-the-fly fallback, so even a zero byte budget
+  // must still materialize them and solve identically — the budget instead
+  // evicts older resident entries (the selection sketch, once the
+  // evaluation sketch lands), never the entry just built.
   EngineOptions capped_options;
   capped_options.max_ensemble_bytes = 0;
   Engine capped(gg_.graph, gg_.groups, capped_options);
@@ -370,6 +371,55 @@ TEST_F(EngineTest, WarmRrSolvesHitTheSketchCache) {
   EXPECT_EQ(capped_solve->seeds, first->seeds);
   EXPECT_EQ(capped.cache_stats().constructions, 2);
   EXPECT_GT(capped.cache_stats().sketch_bytes, 0u);
+  EXPECT_EQ(capped.cache_stats().entries, 1u);
+  EXPECT_EQ(capped.cache_stats().evictions, 1);
+}
+
+// Satellite regression: RR sketches used to be EXEMPT from
+// max_ensemble_bytes (PR 3 left them unbounded because they cannot fall
+// back). Sketch bytes now count toward the unified budget, enforced by
+// evicting least-recently-used resident entries once a build lands.
+TEST_F(EngineTest, SketchBytesCountTowardTheUnifiedByteBudget) {
+  ProblemSpec spec = ProblemSpec::Budget(8, kDeadline);
+  spec.oracle = "rr";
+  SolveOptions rr_options = options_;
+  rr_options.rr_sets_per_group = 400;
+  rr_options.evaluate = false;  // exactly one sketch per solve
+
+  // Size one sketch on an unbounded engine.
+  Engine probe(gg_.graph, gg_.groups);
+  ASSERT_TRUE(probe.Solve(spec, rr_options).ok());
+  const size_t one_sketch = probe.resident_bytes();
+  ASSERT_GT(one_sketch, 0u);
+  EXPECT_EQ(probe.cache_stats().sketch_bytes, one_sketch);
+
+  // Budget fits one sketch and a half: the second (differently-seeded)
+  // sketch must evict the first instead of blowing past the budget.
+  EngineOptions capped_options;
+  capped_options.max_ensemble_bytes = one_sketch * 3 / 2;
+  Engine engine(gg_.graph, gg_.groups, capped_options);
+
+  ASSERT_TRUE(engine.Solve(spec, rr_options).ok());
+  EXPECT_EQ(engine.resident_bytes(), one_sketch);
+  EXPECT_EQ(engine.cache_stats().evictions, 0);
+
+  SolveOptions other_seed = rr_options;
+  other_seed.selection_seed = 0x5eedull;
+  const Result<Solution> second = engine.Solve(spec, other_seed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.sketch_entries, 1u);
+  EXPECT_LE(engine.resident_bytes(), capped_options.max_ensemble_bytes);
+  EXPECT_GT(stats.sketch_bytes, 0u);
+
+  // The evicted sketch rebuilds (deterministically) on its next use.
+  const Result<Solution> rebuilt = engine.Solve(spec, rr_options);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(engine.cache_stats().misses, 3);
+  EXPECT_EQ(engine.cache_stats().evictions, 2);
 }
 
 // Regression: the audit path must not read solver-only spec fields. With

@@ -1,0 +1,304 @@
+// Adversarial concurrency coverage for the multi-tenant serving layer:
+// N threads hammer M tenants with Solve / SubmitSolve / Invalidate /
+// Unregister+Register churn / Stats reads, under a deliberately tiny
+// global byte budget so cross-tenant eviction runs constantly, while the
+// registry-wide backend_build_hook_for_test injects slow AND failing
+// builds mid-race. The test must observe: no crashes or deadlocks, every
+// successful Solution bit-identical to an uncontended reference engine,
+// failures only of the injected kind (plus NotFound on the churned
+// tenant), byte accounting that settles back under the budget, and
+// eviction counters that stay internally consistent.
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/tcim.h"
+#include "graph/datasets.h"
+
+namespace tcim {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 30;
+constexpr int kDeadline = 10;
+
+// Stable tenants (never unregistered) plus one churn target whose
+// registration flaps throughout the run.
+const char* kStableTenants[] = {"t0", "t1", "t2", "t3"};
+constexpr char kChurnTenant[] = "t_churn";
+
+GroupedGraph MakeGraph() {
+  Rng rng(7);
+  return datasets::SyntheticDefault(rng);
+}
+
+// The solve variants in play; every one keyed to a distinct backend so the
+// tiny budget keeps evicting across tenants. evaluate=false keeps each op
+// to one backend acquire.
+struct Variant {
+  ProblemSpec spec;
+  SolveOptions options;
+};
+
+std::vector<Variant> MakeVariants() {
+  std::vector<Variant> variants;
+  SolveOptions base;
+  base.evaluate = false;
+  base.num_worlds = 25;
+
+  Variant mc{ProblemSpec::Budget(5, kDeadline), base};
+  variants.push_back(mc);
+
+  Variant mc_wide = mc;
+  mc_wide.options.num_worlds = 35;  // distinct world backend
+  variants.push_back(mc_wide);
+
+  Variant rr{ProblemSpec::Budget(5, kDeadline), base};
+  rr.spec.oracle = "rr";
+  rr.options.rr_sets_per_group = 250;  // distinct sketch backend
+  variants.push_back(rr);
+
+  Variant cover{ProblemSpec::Cover(0.12, kDeadline), base};
+  variants.push_back(cover);  // shares mc's backend: mixes hits into races
+  return variants;
+}
+
+// Cheap deterministic per-op mixer (no std::rand, no shared state).
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+TEST(RegistryStressTest, ConcurrentSolveSubmitInvalidateUnregister) {
+  const GroupedGraph master = MakeGraph();
+  const std::vector<Variant> variants = MakeVariants();
+
+  // Uncontended reference answers, one per variant (hookless engine).
+  std::vector<std::vector<NodeId>> expected;
+  {
+    Engine reference(master.graph, master.groups);
+    for (const Variant& variant : variants) {
+      const Result<Solution> solution =
+          reference.Solve(variant.spec, variant.options);
+      ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+      expected.push_back(solution->seeds);
+    }
+  }
+
+  // One backend's footprint, to size the global budget for constant churn.
+  size_t backend_bytes = 0;
+  {
+    EngineRegistry probe;
+    GroupedGraph gg = master;
+    ASSERT_TRUE(
+        probe.Register("w", std::move(gg.graph), std::move(gg.groups)).ok());
+    ASSERT_TRUE(probe.Solve("w", variants[0].spec, variants[0].options).ok());
+    backend_bytes = probe.resident_bytes();
+    ASSERT_GT(backend_bytes, 0u);
+  }
+
+  std::atomic<int> builds{0};
+  RegistryOptions registry_options;
+  registry_options.max_total_bytes = backend_bytes * 3;  // far below demand
+  registry_options.num_threads = 4;
+  registry_options.backend_build_hook_for_test = [&builds] {
+    const int n = builds.fetch_add(1);
+    if (n % 13 == 5) throw std::runtime_error("injected build failure");
+    if (n % 5 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+  EngineRegistry registry(registry_options);
+
+  TenantOptions floored;  // t0 keeps one backend's worth resident, always
+  floored.min_resident_bytes = backend_bytes;
+  for (const char* id : kStableTenants) {
+    GroupedGraph gg = master;
+    ASSERT_TRUE(registry
+                    .Register(id, std::move(gg.graph), std::move(gg.groups),
+                              std::string(id) == "t0" ? floored
+                                                      : TenantOptions())
+                    .ok());
+  }
+  {
+    GroupedGraph gg = master;
+    ASSERT_TRUE(
+        registry.Register(kChurnTenant, std::move(gg.graph), std::move(gg.groups))
+            .ok());
+  }
+
+  std::atomic<int> solutions_checked{0};
+  std::atomic<int> injected_failures_seen{0};
+  std::atomic<int> not_found_seen{0};
+  std::atomic<int> unexpected_errors{0};
+
+  const auto check_result = [&](const Result<Solution>& result,
+                                size_t variant_index, bool churn_target) {
+    if (result.ok()) {
+      if (result->seeds != expected[variant_index]) {
+        ++unexpected_errors;
+        ADD_FAILURE() << "solution diverged from the uncontended reference";
+      }
+      ++solutions_checked;
+    } else if (result.status().code() == StatusCode::kNotFound &&
+               churn_target) {
+      ++not_found_seen;  // the churn tenant was mid-flap: expected
+    } else {
+      ++unexpected_errors;
+      ADD_FAILURE() << "unexpected status: " << result.status().ToString();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      struct PendingSolve {
+        std::future<Result<Solution>> future;
+        size_t variant_index;
+        bool churn_target;
+      };
+      std::vector<PendingSolve> pending;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t roll = Mix(static_cast<uint64_t>(t) * 1000 + i + 1);
+        const size_t variant_index = roll % variants.size();
+        const Variant& variant = variants[variant_index];
+        const bool churn_target = (roll >> 8) % 5 == 0;
+        const std::string id = churn_target
+                                   ? std::string(kChurnTenant)
+                                   : std::string(kStableTenants[(roll >> 16) %
+                                                                4]);
+        try {
+          switch ((roll >> 24) % 10) {
+            case 0:  // async solve; validated when drained
+              pending.push_back(
+                  {registry.SubmitSolve(id, variant.spec, variant.options),
+                   variant_index, churn_target});
+              break;
+            case 1:
+              (void)registry.Invalidate(id);
+              break;
+            case 2: {
+              if (churn_target) {
+                // Flap the churn tenant's registration. Either order of
+                // the racing halves is legal; both Statuses are expected
+                // outcomes, not errors.
+                (void)registry.Unregister(kChurnTenant);
+                GroupedGraph gg = master;
+                const Status reregister = registry.Register(
+                    kChurnTenant, std::move(gg.graph), std::move(gg.groups));
+                if (!reregister.ok() &&
+                    reregister.code() != StatusCode::kFailedPrecondition) {
+                  ++unexpected_errors;
+                }
+              } else {
+                check_result(registry.Solve(id, variant.spec, variant.options),
+                             variant_index, churn_target);
+              }
+              break;
+            }
+            case 3: {
+              const RegistryStats stats = registry.Stats();
+              // Internal consistency of every snapshot, mid-race.
+              size_t resident = 0;
+              for (const auto& tenant : stats.tenants) {
+                if (tenant.cache.entries != tenant.cache.world_entries +
+                                                tenant.cache.sketch_entries ||
+                    tenant.resident_bytes != tenant.cache.ensemble_bytes +
+                                                 tenant.cache.sketch_bytes) {
+                  ++unexpected_errors;
+                  ADD_FAILURE() << "inconsistent tenant snapshot: "
+                                << tenant.cache.DebugString();
+                }
+                resident += tenant.resident_bytes;
+              }
+              if (resident != stats.resident_bytes) {
+                ++unexpected_errors;
+                ADD_FAILURE() << "resident_bytes does not sum";
+              }
+              break;
+            }
+            default:
+              check_result(registry.Solve(id, variant.spec, variant.options),
+                           variant_index, churn_target);
+              break;
+          }
+        } catch (const std::runtime_error&) {
+          ++injected_failures_seen;  // the hook's failure, surfaced mid-race
+        }
+        // Drain a pending future every few ops so validation interleaves
+        // with submission instead of piling up at the end.
+        if (pending.size() >= 3) {
+          try {
+            check_result(pending.front().future.get(),
+                         pending.front().variant_index,
+                         pending.front().churn_target);
+          } catch (const std::runtime_error&) {
+            ++injected_failures_seen;
+          }
+          pending.erase(pending.begin());
+        }
+      }
+      for (PendingSolve& solve : pending) {
+        try {
+          check_result(solve.future.get(), solve.variant_index,
+                       solve.churn_target);
+        } catch (const std::runtime_error&) {
+          ++injected_failures_seen;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(unexpected_errors.load(), 0);
+  EXPECT_GT(solutions_checked.load(), 0);
+  // Enough builds ran that the every-13th failure injection fired, and at
+  // least one failure surfaced to a caller (builder or waiter).
+  EXPECT_GT(builds.load(), 13);
+  EXPECT_GT(injected_failures_seen.load(), 0);
+
+  // With the race over, one explicit budget pass must settle the registry
+  // under its global budget (t0's floor is well below it).
+  registry.EnforceGlobalBudget();
+  const RegistryStats stats = registry.Stats();
+  EXPECT_LE(stats.resident_bytes, registry_options.max_total_bytes);
+  EXPECT_LE(registry.resident_bytes(), registry_options.max_total_bytes);
+
+  // Eviction/byte accounting stayed consistent on every tenant: entry
+  // splits sum, resident bytes match the per-kind byte counters, and every
+  // materialization was preceded by a miss.
+  for (const auto& tenant : stats.tenants) {
+    EXPECT_EQ(tenant.cache.entries,
+              tenant.cache.world_entries + tenant.cache.sketch_entries)
+        << tenant.id;
+    EXPECT_EQ(tenant.resident_bytes,
+              tenant.cache.ensemble_bytes + tenant.cache.sketch_bytes)
+        << tenant.id;
+    EXPECT_GE(tenant.cache.misses, tenant.cache.constructions) << tenant.id;
+  }
+  // cross_tenant_evictions is a registry-lifetime counter, while totals
+  // only cover currently-registered tenants (the churned tenant took its
+  // eviction history with it), so the two are not ordered — but under a
+  // budget this tight the global pass must have fired.
+  EXPECT_GT(stats.cross_tenant_evictions, 0);
+
+  // The stable tenants all survived the churn; the churn tenant is in
+  // whatever state the last raced op left it — both are legal.
+  for (const char* id : kStableTenants) {
+    EXPECT_NE(registry.Get(id), nullptr) << id;
+  }
+}
+
+}  // namespace
+}  // namespace tcim
